@@ -1,0 +1,125 @@
+//! Criterion benches for the Estimator Service (§6) — the machinery
+//! behind Figure 5, measured as code rather than as an experiment:
+//! prediction latency vs history size, queue-time estimation, and
+//! transfer-time estimation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gae_core::estimator::{
+    estimate_queue_time, EstimateDb, EstimationMethod, HistoryStore, RuntimeEstimator,
+    TransferEstimator,
+};
+use gae_exec::{ExecutionService, SiteConfig};
+use gae_sim::NetworkModel;
+use gae_trace::{TaskMeta, WorkloadModel};
+use gae_types::{Priority, SimDuration, SiteDescription, SiteId, TaskId, TaskSpec};
+use std::hint::black_box;
+
+fn estimator_with_history(jobs: usize) -> (RuntimeEstimator, TaskMeta) {
+    let model = WorkloadModel::default();
+    let records = model.generate(jobs + 1, 42);
+    let store = HistoryStore::new(jobs.max(1));
+    store.load_trace(&records[..jobs]);
+    let probe = TaskMeta::from_record(&records[jobs]);
+    (RuntimeEstimator::new(store), probe)
+}
+
+fn bench_runtime_estimation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_estimate");
+    for jobs in [100usize, 1_000, 10_000] {
+        let (estimator, probe) = estimator_with_history(jobs);
+        group.bench_with_input(BenchmarkId::new("history", jobs), &jobs, |b, _| {
+            b.iter(|| black_box(estimator.estimate(black_box(&probe))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimation_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimate_method");
+    for (name, method) in [
+        ("mean", EstimationMethod::Mean),
+        ("regression", EstimationMethod::Regression),
+        ("hybrid", EstimationMethod::Hybrid),
+    ] {
+        let (est, probe) = estimator_with_history(1_000);
+        let est = est.with_method(method);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(est.estimate(black_box(&probe))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_queue_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_time_estimate");
+    for depth in [10usize, 100] {
+        // A single-slot site with `depth` higher-priority tasks queued
+        // ahead of the probe.
+        let mut exec = ExecutionService::new(SiteConfig::free(SiteDescription::new(
+            SiteId::new(1),
+            "s",
+            1,
+            1,
+        )));
+        let db = EstimateDb::new();
+        for i in 0..depth {
+            let spec = TaskSpec::new(TaskId::new(i as u64 + 1), "t", "x")
+                .with_cpu_demand(SimDuration::from_secs(100))
+                .with_priority(Priority::new(5));
+            let condor = exec.submit(spec, None).expect("submit");
+            db.record(condor, SimDuration::from_secs(100));
+        }
+        let probe = exec
+            .submit(
+                TaskSpec::new(TaskId::new(9_999), "probe", "x")
+                    .with_cpu_demand(SimDuration::from_secs(10)),
+                None,
+            )
+            .expect("submit probe");
+        db.record(probe, SimDuration::from_secs(10));
+        group.bench_with_input(BenchmarkId::new("queue_depth", depth), &depth, |b, _| {
+            b.iter(|| black_box(estimate_queue_time(&exec, &db, probe)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_transfer_estimate(c: &mut Criterion) {
+    let est = TransferEstimator::new(NetworkModel::wan_2005(), 7);
+    // Warm the probe cache, as a deployment would.
+    est.measured_bandwidth(SiteId::new(1), SiteId::new(2));
+    c.bench_function("transfer_estimate_cached", |b| {
+        b.iter(|| {
+            black_box(est.estimate_bytes(
+                black_box(SiteId::new(1)),
+                black_box(SiteId::new(2)),
+                black_box(1 << 30),
+            ))
+        })
+    });
+}
+
+fn bench_history_observe(c: &mut Criterion) {
+    let store = HistoryStore::new(10_000);
+    let model = WorkloadModel::default();
+    let rec = &model.generate(1, 3)[0];
+    let meta = TaskMeta::from_record(rec);
+    c.bench_function("history_observe", |b| {
+        b.iter(|| {
+            store.observe(
+                black_box(meta.clone()),
+                black_box(SimDuration::from_secs(10)),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_runtime_estimation,
+    bench_estimation_methods,
+    bench_queue_time,
+    bench_transfer_estimate,
+    bench_history_observe
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion benches for the Steering Service — the machinery behind
+//! Figure 7: the full steered-vs-unsteered simulation, the steering
+//! poll loop at fleet scale, and the migration path itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gae_bench::fig7::{figure7, Fig7Config};
+use gae_core::grid::{GridBuilder, ServiceStack};
+use gae_types::{
+    JobId, JobSpec, SimDuration, SimTime, SiteDescription, SiteId, TaskId, TaskSpec, UserId,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_figure7_sim(c: &mut Criterion) {
+    c.bench_function("fig7_full_simulation", |b| {
+        b.iter(|| black_box(figure7(Fig7Config::default())))
+    });
+}
+
+fn fleet_stack(tasks: u64) -> Arc<ServiceStack> {
+    let grid = GridBuilder::new()
+        .site_with_load(SiteDescription::new(SiteId::new(1), "a", 8, 2), 1.0)
+        .site(SiteDescription::new(SiteId::new(2), "b", 8, 2))
+        .site(SiteDescription::new(SiteId::new(3), "c", 8, 2))
+        .build();
+    let stack = ServiceStack::over(grid);
+    let mut job = JobSpec::new(JobId::new(1), "fleet", UserId::new(1));
+    for i in 1..=tasks {
+        job.add_task(
+            TaskSpec::new(TaskId::new(i), format!("t{i}"), "reco")
+                .with_cpu_demand(SimDuration::from_secs(50_000)),
+        );
+    }
+    stack.submit_job(job).expect("schedulable");
+    stack.run_until(SimTime::from_secs(30));
+    stack
+}
+
+fn bench_steering_poll(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steering_poll");
+    for tasks in [10u64, 100] {
+        let stack = fleet_stack(tasks);
+        group.bench_with_input(BenchmarkId::new("tasks", tasks), &tasks, |b, _| {
+            b.iter(|| stack.steering.poll())
+        });
+    }
+    group.finish();
+}
+
+fn bench_jobmon_poll(c: &mut Criterion) {
+    let stack = fleet_stack(100);
+    c.bench_function("jobmon_poll_100_tasks", |b| b.iter(|| stack.jobmon.poll()));
+}
+
+fn bench_job_info_query(c: &mut Criterion) {
+    let stack = fleet_stack(100);
+    c.bench_function("jobmon_job_info_query", |b| {
+        b.iter(|| black_box(stack.jobmon.job_info(black_box(TaskId::new(50)))))
+    });
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let stack = fleet_stack(10);
+    let mut group = c.benchmark_group("scheduler");
+    for tasks in [1u64, 16] {
+        group.bench_with_input(BenchmarkId::new("plan_tasks", tasks), &tasks, |b, &n| {
+            b.iter_with_setup(
+                || {
+                    let mut job = JobSpec::new(JobId::new(999), "bench", UserId::new(1));
+                    for i in 1..=n {
+                        job.add_task(
+                            TaskSpec::new(TaskId::new(10_000 + i), format!("t{i}"), "reco")
+                                .with_cpu_demand(SimDuration::from_secs(100)),
+                        );
+                    }
+                    gae_types::AbstractPlan::new(job)
+                },
+                |plan| black_box(stack.scheduler.schedule(&plan)),
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_figure7_sim,
+    bench_steering_poll,
+    bench_jobmon_poll,
+    bench_job_info_query,
+    bench_schedule
+);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Criterion benches for the substrates: discrete-event engine,
+//! execution-service queue, load-trace math, monitoring store, and
+//! the trace generator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gae_exec::PriorityQueue;
+use gae_monitor::{MetricKey, Sample, TimeSeriesStore};
+use gae_sim::{LoadTrace, SimEngine};
+use gae_trace::WorkloadModel;
+use gae_types::{CondorId, Priority, SimDuration, SimTime, SiteId};
+use std::hint::black_box;
+
+fn bench_event_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    for n in [1_000u64, 10_000] {
+        group.bench_with_input(BenchmarkId::new("schedule_and_run", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut engine = SimEngine::new();
+                for i in 0..n {
+                    engine.schedule_at(SimTime::from_micros((n - i) * 10), |_| {});
+                }
+                black_box(engine.run_to_completion(n + 1))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_priority_queue(c: &mut Criterion) {
+    c.bench_function("exec_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = PriorityQueue::new();
+            for i in 0..1_000u64 {
+                q.push(CondorId::new(i), Priority::new((i % 7) as i32 - 3));
+            }
+            while let Some(e) = q.pop() {
+                black_box(e);
+            }
+        })
+    });
+}
+
+fn bench_load_trace(c: &mut Criterion) {
+    // A trace with 1000 steps, queried mid-way.
+    let steps: Vec<(SimTime, f64)> = (0..1_000)
+        .map(|i| (SimTime::from_secs(i * 60), (i % 5) as f64))
+        .collect();
+    let trace = LoadTrace::from_steps(steps);
+    c.bench_function("load_trace_finish_time", |b| {
+        b.iter(|| {
+            black_box(trace.finish_time(
+                black_box(SimTime::from_secs(123)),
+                black_box(SimDuration::from_secs(50_000)),
+                1.0,
+            ))
+        })
+    });
+    c.bench_function("load_trace_accrued_between", |b| {
+        b.iter(|| {
+            black_box(trace.accrued_between(
+                black_box(SimTime::from_secs(123)),
+                black_box(SimTime::from_secs(50_000)),
+                1.0,
+            ))
+        })
+    });
+}
+
+fn bench_monitor_store(c: &mut Criterion) {
+    c.bench_function("monitor_publish", |b| {
+        let mut store = TimeSeriesStore::new(4_096);
+        let key = MetricKey::site_wide(SiteId::new(1), "cpu_load");
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            store.publish(
+                key.clone(),
+                Sample {
+                    at: SimTime::from_secs(t),
+                    value: t as f64,
+                },
+            )
+        })
+    });
+    let mut store = TimeSeriesStore::new(4_096);
+    let key = MetricKey::site_wide(SiteId::new(1), "cpu_load");
+    for t in 0..4_096u64 {
+        store.publish(
+            key.clone(),
+            Sample {
+                at: SimTime::from_secs(t),
+                value: t as f64,
+            },
+        );
+    }
+    c.bench_function("monitor_range_query", |b| {
+        b.iter(|| {
+            black_box(store.range(
+                black_box(&key),
+                SimTime::from_secs(1_000),
+                SimTime::from_secs(3_000),
+            ))
+        })
+    });
+}
+
+fn bench_trace_generator(c: &mut Criterion) {
+    let model = WorkloadModel::default();
+    c.bench_function("paragon_generate_120_jobs", |b| {
+        b.iter(|| black_box(model.generate(120, black_box(42))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_engine,
+    bench_priority_queue,
+    bench_load_trace,
+    bench_monitor_store,
+    bench_trace_generator
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Generates a synthetic SDSC-Paragon-style accounting trace and
+//! writes it to a CSV file — useful for inspecting the workload the
+//! Figure 5 experiment runs on, or for feeding external tools.
+//!
+//! ```text
+//! cargo run -p gae-bench --bin gen_trace -- [jobs] [seed] [out.csv]
+//! ```
+
+use gae_trace::{ParagonRecord, WorkloadModel};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(120);
+    let seed: u64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(2);
+    let out = args
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| "paragon-trace.csv".to_string());
+
+    let model = WorkloadModel::default();
+    let records = model.generate(jobs, seed);
+    let successes = records.iter().filter(|r| r.success).count();
+    if let Err(e) = ParagonRecord::save_csv(&records, std::path::Path::new(&out)) {
+        eprintln!("gen_trace: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    let runtimes: Vec<f64> = records
+        .iter()
+        .filter(|r| r.success)
+        .map(|r| r.runtime().as_secs_f64())
+        .collect();
+    let min = runtimes.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = runtimes.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "wrote {jobs} records ({successes} successful) to {out}\n\
+         runtime span: {min:.0} s – {max:.0} s; seed {seed}; schema: {}",
+        ParagonRecord::CSV_HEADER
+    );
+}

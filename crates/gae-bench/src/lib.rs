@@ -1,0 +1,17 @@
+//! Benchmark harnesses that regenerate the paper's evaluation (§7).
+//!
+//! One module per figure, shared between the `fig5`/`fig6`/`fig7`
+//! binaries (which print the paper-style tables) and the Criterion
+//! benches (which measure the implementation itself). Everything is
+//! seeded and deterministic except Figure 6, which measures real
+//! wall-clock latency over real TCP sockets.
+
+#![warn(missing_docs)]
+
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+
+pub use fig5::{figure5, Fig5Result, Fig5Row};
+pub use fig6::{figure6, Fig6Config, Fig6Row};
+pub use fig7::{figure7, Fig7Config, Fig7Result};

@@ -1,0 +1,140 @@
+//! The per-site task history the runtime estimator searches.
+//!
+//! "We maintain a history of tasks that have executed along with
+//! their respective runtimes. ... A decentralized approach is used
+//! for history maintenance" (§6.1): every site keeps its own store;
+//! nothing here is global.
+
+use gae_trace::{ParagonRecord, TaskMeta};
+use gae_types::SimDuration;
+use parking_lot::RwLock;
+
+/// One observed execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistoryEntry {
+    /// The task's similarity attributes.
+    pub meta: TaskMeta,
+    /// Its observed runtime.
+    pub runtime: SimDuration,
+    /// Insertion sequence (regression covariate: captures drift).
+    pub seq: u64,
+}
+
+/// A bounded, append-only history of `(task, runtime)` observations.
+pub struct HistoryStore {
+    entries: RwLock<Vec<HistoryEntry>>,
+    capacity: usize,
+    next_seq: std::sync::atomic::AtomicU64,
+}
+
+impl HistoryStore {
+    /// Creates a store retaining at most `capacity` observations
+    /// (oldest evicted first).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        HistoryStore {
+            entries: RwLock::new(Vec::new()),
+            capacity,
+            next_seq: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, meta: TaskMeta, runtime: SimDuration) {
+        let seq = self
+            .next_seq
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut entries = self.entries.write();
+        if entries.len() == self.capacity {
+            entries.remove(0);
+        }
+        entries.push(HistoryEntry { meta, runtime, seq });
+    }
+
+    /// Loads successful jobs from an accounting trace (failed jobs
+    /// carry truncated runtimes and would poison the predictor).
+    pub fn load_trace(&self, records: &[ParagonRecord]) -> usize {
+        let mut loaded = 0;
+        for r in records.iter().filter(|r| r.success) {
+            self.observe(TaskMeta::from_record(r), r.runtime());
+            loaded += 1;
+        }
+        loaded
+    }
+
+    /// Snapshot as `(meta, (runtime, seq))` pairs for template search.
+    pub fn snapshot(&self) -> Vec<(TaskMeta, (SimDuration, u64))> {
+        self.entries
+            .read()
+            .iter()
+            .map(|e| (e.meta.clone(), (e.runtime, e.seq)))
+            .collect()
+    }
+
+    /// Number of retained observations.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// True if no observations are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gae_trace::WorkloadModel;
+    use gae_types::JobType;
+
+    fn meta(login: &str) -> TaskMeta {
+        TaskMeta {
+            account: "a".into(),
+            login: login.into(),
+            executable: "x".into(),
+            queue: "q".into(),
+            partition: "p".into(),
+            nodes: 1,
+            job_type: JobType::Batch,
+        }
+    }
+
+    #[test]
+    fn observe_and_snapshot() {
+        let h = HistoryStore::new(10);
+        assert!(h.is_empty());
+        h.observe(meta("a"), SimDuration::from_secs(10));
+        h.observe(meta("b"), SimDuration::from_secs(20));
+        let snap = h.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].1 .0, SimDuration::from_secs(10));
+        assert!(snap[0].1 .1 < snap[1].1 .1, "sequence increases");
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let h = HistoryStore::new(3);
+        for i in 0..10 {
+            h.observe(meta("a"), SimDuration::from_secs(i));
+        }
+        assert_eq!(h.len(), 3);
+        let snap = h.snapshot();
+        assert_eq!(snap[0].1 .0, SimDuration::from_secs(7));
+    }
+
+    #[test]
+    fn trace_loading_skips_failures() {
+        let model = WorkloadModel {
+            failure_fraction: 0.5,
+            ..WorkloadModel::default()
+        };
+        let records = model.generate(100, 5);
+        let h = HistoryStore::new(1000);
+        let loaded = h.load_trace(&records);
+        let successes = records.iter().filter(|r| r.success).count();
+        assert_eq!(loaded, successes);
+        assert_eq!(h.len(), successes);
+        assert!(successes < 100, "some failures expected at 50%");
+    }
+}

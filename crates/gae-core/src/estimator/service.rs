@@ -1,0 +1,245 @@
+//! The deployable Estimator Service: per-site runtime estimators
+//! (decentralised histories), the submission-time estimate database,
+//! the transfer estimator, and the XML-RPC facade.
+
+use crate::estimator::history::HistoryStore;
+use crate::estimator::queue_time::{estimate_queue_time, EstimateDb};
+use crate::estimator::runtime::{RuntimeEstimate, RuntimeEstimator};
+use crate::estimator::transfer::TransferEstimator;
+use crate::grid::Grid;
+use gae_rpc::{CallContext, MethodInfo, Service};
+use gae_trace::{ParagonRecord, TaskMeta};
+use gae_types::{CondorId, FileRef, GaeError, GaeResult, SimDuration, SiteId, TaskSpec};
+use gae_wire::Value;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Default capacity of each site's task history.
+const HISTORY_CAPACITY: usize = 10_000;
+
+/// The Estimator Service (§6), one instance per GAE deployment.
+pub struct EstimatorService {
+    grid: Arc<Grid>,
+    runtime: RwLock<BTreeMap<SiteId, Arc<RuntimeEstimator>>>,
+    estimate_db: BTreeMap<SiteId, Arc<EstimateDb>>,
+    transfer: TransferEstimator,
+}
+
+impl EstimatorService {
+    /// Creates empty per-site estimators over the grid's sites and a
+    /// transfer estimator over its network model.
+    pub fn new(grid: Arc<Grid>) -> Self {
+        let mut runtime = BTreeMap::new();
+        let mut estimate_db = BTreeMap::new();
+        for site in grid.site_ids() {
+            runtime.insert(
+                site,
+                Arc::new(RuntimeEstimator::new(HistoryStore::new(HISTORY_CAPACITY))),
+            );
+            estimate_db.insert(site, Arc::new(EstimateDb::new()));
+        }
+        let transfer = TransferEstimator::new(grid.network().clone(), 2005);
+        EstimatorService {
+            grid,
+            runtime: RwLock::new(runtime),
+            estimate_db,
+            transfer,
+        }
+    }
+
+    /// Replaces one site's runtime estimator (ablation studies).
+    pub fn set_runtime_estimator(&self, site: SiteId, estimator: RuntimeEstimator) {
+        self.runtime.write().insert(site, Arc::new(estimator));
+    }
+
+    fn runtime_estimator(&self, site: SiteId) -> GaeResult<Arc<RuntimeEstimator>> {
+        self.runtime
+            .read()
+            .get(&site)
+            .cloned()
+            .ok_or_else(|| GaeError::NotFound(format!("runtime estimator at {site}")))
+    }
+
+    fn db(&self, site: SiteId) -> GaeResult<&Arc<EstimateDb>> {
+        self.estimate_db
+            .get(&site)
+            .ok_or_else(|| GaeError::NotFound(format!("estimate db at {site}")))
+    }
+
+    /// Seeds a site's history from an accounting trace.
+    pub fn seed_history(&self, site: SiteId, records: &[ParagonRecord]) -> GaeResult<usize> {
+        Ok(self.runtime_estimator(site)?.history().load_trace(records))
+    }
+
+    /// Records an observed completion into the site's history.
+    pub fn observe_completion(&self, site: SiteId, meta: TaskMeta, runtime: SimDuration) {
+        if let Ok(est) = self.runtime_estimator(site) {
+            est.history().observe(meta, runtime);
+        }
+    }
+
+    /// §6.1: predicted runtime of `spec` at `site`.
+    pub fn estimate_runtime(&self, site: SiteId, spec: &TaskSpec) -> GaeResult<RuntimeEstimate> {
+        self.runtime_estimator(site)?
+            .estimate(&TaskMeta::from_spec(spec))
+    }
+
+    /// Records the runtime "estimated at the time of task submission"
+    /// (§6.2c) in the site's separate database.
+    pub fn record_submission(&self, site: SiteId, condor: CondorId, estimate: SimDuration) {
+        if let Ok(db) = self.db(site) {
+            db.record(condor, estimate);
+        }
+    }
+
+    /// The stored submission-time estimate, if any.
+    pub fn submission_estimate(&self, site: SiteId, condor: CondorId) -> Option<SimDuration> {
+        self.db(site).ok().and_then(|db| db.get(condor))
+    }
+
+    /// §6.2: queue time of an already-submitted task, by Condor id.
+    pub fn estimate_queue_time(&self, site: SiteId, condor: CondorId) -> GaeResult<SimDuration> {
+        let exec = self.grid.exec(site)?;
+        let exec = exec.lock();
+        estimate_queue_time(&exec, self.db(site)?, condor)
+    }
+
+    /// Queue time a *new* task would face at `site` (used by the
+    /// scheduler before submission): the sum of estimated-remaining
+    /// runtimes of live tasks with priority above the spec's.
+    pub fn estimate_queue_time_for_spec(
+        &self,
+        site: SiteId,
+        spec: &TaskSpec,
+    ) -> GaeResult<SimDuration> {
+        let exec = self.grid.exec(site)?;
+        let exec = exec.lock();
+        let db = self.db(site)?;
+        let mut total = SimDuration::ZERO;
+        for (condor, _task, elapsed) in exec.tasks_above_priority(spec.priority.lowered(1)) {
+            // `lowered(1)`: a new equal-priority task queues behind
+            // existing ones (FIFO), so equals count too.
+            if let Some(estimated) = db.get(condor) {
+                total += estimated.saturating_sub(elapsed);
+            }
+        }
+        Ok(total)
+    }
+
+    /// §6.3: staging time for a task's input set to `site`.
+    pub fn estimate_transfer(&self, files: &[FileRef], to: SiteId) -> GaeResult<SimDuration> {
+        self.transfer.estimate_inputs(files, to)
+    }
+
+    /// The transfer estimator itself.
+    pub fn transfer(&self) -> &TransferEstimator {
+        &self.transfer
+    }
+}
+
+/// XML-RPC facade, registered as the `estimator` service.
+pub struct EstimatorRpc {
+    service: Arc<EstimatorService>,
+}
+
+impl EstimatorRpc {
+    /// Wraps the service for RPC registration.
+    pub fn new(service: Arc<EstimatorService>) -> Self {
+        EstimatorRpc { service }
+    }
+}
+
+impl Service for EstimatorRpc {
+    fn name(&self) -> &'static str {
+        "estimator"
+    }
+
+    fn call(&self, _ctx: &CallContext, method: &str, params: &[Value]) -> GaeResult<Value> {
+        match method {
+            // estimate_runtime(site, login, executable, queue,
+            //                  partition, nodes, job_type)
+            "estimate_runtime" => {
+                if params.len() != 7 {
+                    return Err(GaeError::Parse(
+                        "estimate_runtime(site, login, executable, queue, partition, nodes, job_type)"
+                            .into(),
+                    ));
+                }
+                let site = SiteId::new(params[0].as_u64()?);
+                let meta = TaskMeta {
+                    account: String::new(),
+                    login: params[1].as_str()?.to_string(),
+                    executable: params[2].as_str()?.to_string(),
+                    queue: params[3].as_str()?.to_string(),
+                    partition: params[4].as_str()?.to_string(),
+                    nodes: params[5].as_u64()? as u32,
+                    job_type: params[6].as_str()?.parse()?,
+                };
+                let est = self.service.runtime_estimator(site)?.estimate(&meta)?;
+                Ok(Value::struct_of([
+                    ("runtime_s", Value::from(est.runtime.as_secs_f64())),
+                    ("template_tier", Value::Int64(est.template_tier as i64)),
+                    ("samples", Value::Int64(est.samples as i64)),
+                    ("used_regression", Value::Bool(est.used_regression)),
+                    ("std_dev_s", Value::from(est.std_dev_s)),
+                ]))
+            }
+            "queue_time" => {
+                if params.len() != 2 {
+                    return Err(GaeError::Parse("queue_time(site, condor)".into()));
+                }
+                let site = SiteId::new(params[0].as_u64()?);
+                let condor = CondorId::new(params[1].as_u64()?);
+                let d = self.service.estimate_queue_time(site, condor)?;
+                Ok(Value::from(d.as_secs_f64()))
+            }
+            "transfer_time" => {
+                if params.len() != 3 {
+                    return Err(GaeError::Parse("transfer_time(from, to, bytes)".into()));
+                }
+                let from = SiteId::new(params[0].as_u64()?);
+                let to = SiteId::new(params[1].as_u64()?);
+                let bytes = params[2].as_u64()?;
+                Ok(Value::from(
+                    self.service
+                        .transfer
+                        .estimate_bytes(from, to, bytes)
+                        .as_secs_f64(),
+                ))
+            }
+            "measured_bandwidth" => {
+                if params.len() != 2 {
+                    return Err(GaeError::Parse("measured_bandwidth(from, to)".into()));
+                }
+                let from = SiteId::new(params[0].as_u64()?);
+                let to = SiteId::new(params[1].as_u64()?);
+                Ok(Value::from(
+                    self.service.transfer.measured_bandwidth(from, to),
+                ))
+            }
+            other => Err(gae_rpc::service::unknown_method("estimator", other)),
+        }
+    }
+
+    fn methods(&self) -> Vec<MethodInfo> {
+        vec![
+            MethodInfo {
+                name: "estimate_runtime",
+                help: "history-based runtime prediction for a task at a site",
+            },
+            MethodInfo {
+                name: "queue_time",
+                help: "estimated queue wait of a submitted task (by Condor id)",
+            },
+            MethodInfo {
+                name: "transfer_time",
+                help: "estimated seconds to move N bytes between two sites",
+            },
+            MethodInfo {
+                name: "measured_bandwidth",
+                help: "iperf-measured bandwidth between two sites (bytes/s)",
+            },
+        ]
+    }
+}

@@ -1,0 +1,163 @@
+//! The Job Information Collector (§5.2).
+//!
+//! "The Job Information Collector interacts with the Execution
+//! Service to provide real-time job monitoring information. \[It\]
+//! functions in two ways: it monitors the job execution and whenever
+//! the job is completed or terminated due to an error, it sends an
+//! update request to the DBManager ... \[and\] it provides the
+//! monitoring information of the running jobs to the JMManager when
+//! requested."
+
+use crate::estimator::EstimatorService;
+use crate::grid::Grid;
+use crate::jobmon::db::DbManager;
+use crate::jobmon::info::JobMonitoringInfo;
+use gae_exec::TaskRecord;
+use gae_trace::TaskMeta;
+use gae_types::{CondorId, GaeError, GaeResult, SiteId, TaskId, TaskStatus};
+use std::sync::Arc;
+
+/// Polls execution services and answers live queries.
+pub struct JobInformationCollector {
+    grid: Arc<Grid>,
+    estimators: Arc<EstimatorService>,
+}
+
+impl JobInformationCollector {
+    /// Creates a collector over the grid.
+    pub fn new(grid: Arc<Grid>, estimators: Arc<EstimatorService>) -> Self {
+        JobInformationCollector { grid, estimators }
+    }
+
+    /// The grid this collector watches.
+    pub fn grid(&self) -> &Arc<Grid> {
+        &self.grid
+    }
+
+    /// Drains execution events; terminal transitions go to the
+    /// DBManager, and completions feed the site's runtime history
+    /// (that is how the decentralised histories of §6.1 grow).
+    pub fn poll(&self, db: &DbManager) {
+        for (site, event) in self.grid.drain_events() {
+            if !event.is_terminal() {
+                continue;
+            }
+            let Ok(exec) = self.grid.exec(site) else {
+                continue;
+            };
+            let exec = exec.lock();
+            let Ok(record) = exec.record(event.condor) else {
+                continue;
+            };
+            let info = self.info_from_record(site, record, &exec);
+            if event.status == TaskStatus::Completed {
+                self.estimators.observe_completion(
+                    site,
+                    TaskMeta::from_spec(&record.spec),
+                    record.total_accrued(),
+                );
+            }
+            drop(exec);
+            db.store(info);
+        }
+    }
+
+    /// Builds a monitoring snapshot from an execution record.
+    fn info_from_record(
+        &self,
+        site: SiteId,
+        record: &TaskRecord,
+        exec: &gae_exec::ExecutionService,
+    ) -> JobMonitoringInfo {
+        let estimated = self.estimators.submission_estimate(site, record.condor);
+        let remaining = estimated.map(|e| e.saturating_sub(record.total_accrued()));
+        JobMonitoringInfo {
+            job: record.spec.job,
+            task: record.spec.id,
+            condor: record.condor,
+            site,
+            status: record.status,
+            estimated_runtime: estimated,
+            remaining_time: remaining,
+            elapsed: record.elapsed(exec.now()),
+            queue_position: exec.queue_position(record.condor),
+            priority: record.priority,
+            submitted_at: record.submitted_at,
+            started_at: record.started_at,
+            completed_at: record.finished_at,
+            cpu_time: record.total_accrued(),
+            input_io: record.input_io,
+            output_io: record.output_io,
+            owner: record.spec.owner,
+            env: record.spec.env.clone(),
+            progress: record.progress(),
+        }
+    }
+
+    /// Locates a task across sites. When a task has records at
+    /// several sites (it migrated), the actively-hosted one wins —
+    /// a `Migrating` husk left at the old site is *not* active —
+    /// otherwise the most recently submitted record.
+    pub fn locate(&self, task: TaskId) -> GaeResult<(SiteId, CondorId)> {
+        let mut best: Option<(SiteId, CondorId, bool, gae_types::SimTime)> = None;
+        for site in self.grid.site_ids() {
+            let exec = self.grid.exec(site)?;
+            let exec = exec.lock();
+            if let Some(condor) = exec.condor_of(task) {
+                if let Ok(rec) = exec.record(condor) {
+                    let live = matches!(
+                        rec.status,
+                        TaskStatus::Pending
+                            | TaskStatus::Queued
+                            | TaskStatus::Running
+                            | TaskStatus::Suspended
+                    );
+                    let key = (live, rec.submitted_at);
+                    let better = match &best {
+                        Some((_, _, bl, bt)) => key > (*bl, *bt),
+                        None => true,
+                    };
+                    if better {
+                        best = Some((site, condor, live, rec.submitted_at));
+                    }
+                }
+            }
+        }
+        best.map(|(s, c, _, _)| (s, c))
+            .ok_or_else(|| GaeError::NotFound(format!("{task} on any site")))
+    }
+
+    /// Task ids of a job found live on any site (running, queued, or
+    /// settled but still in an execution service's records).
+    pub fn live_job_tasks(&self, job: gae_types::JobId) -> Vec<TaskId> {
+        let mut out = Vec::new();
+        for site in self.grid.site_ids() {
+            let Ok(exec) = self.grid.exec(site) else {
+                continue;
+            };
+            let exec = exec.lock();
+            for rec in exec.records() {
+                if rec.spec.job == job && !out.contains(&rec.spec.id) {
+                    out.push(rec.spec.id);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Live monitoring info for a task, straight from its execution
+    /// service.
+    pub fn live_info(&self, task: TaskId) -> GaeResult<JobMonitoringInfo> {
+        let (site, condor) = self.locate(task)?;
+        self.live_info_at(site, condor)
+    }
+
+    /// Live monitoring info by explicit site + Condor id.
+    pub fn live_info_at(&self, site: SiteId, condor: CondorId) -> GaeResult<JobMonitoringInfo> {
+        let exec = self.grid.exec(site)?;
+        let exec = exec.lock();
+        let record = exec.record(condor)?;
+        Ok(self.info_from_record(site, record, &exec))
+    }
+}

@@ -1,0 +1,152 @@
+//! The DBManager: the Job Monitoring Service's repository.
+//!
+//! "Each Job Monitoring Service instance has a database repository.
+//! The access to this repository is controlled by the DBManager. The
+//! DBManager publishes the job monitoring information to MonALISA."
+//! (§5.4)
+
+use crate::jobmon::info::JobMonitoringInfo;
+use gae_monitor::{JobEvent, MonAlisaRepository};
+use gae_types::{JobId, TaskId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Snapshot store plus MonALISA publication.
+pub struct DbManager {
+    snapshots: RwLock<HashMap<TaskId, JobMonitoringInfo>>,
+    by_job: RwLock<HashMap<JobId, Vec<TaskId>>>,
+    monitor: Arc<MonAlisaRepository>,
+}
+
+impl DbManager {
+    /// Creates a repository publishing to `monitor`.
+    pub fn new(monitor: Arc<MonAlisaRepository>) -> Self {
+        DbManager {
+            snapshots: RwLock::new(HashMap::new()),
+            by_job: RwLock::new(HashMap::new()),
+            monitor,
+        }
+    }
+
+    /// Stores (or refreshes) a snapshot and publishes the state
+    /// change to MonALISA.
+    pub fn store(&self, info: JobMonitoringInfo) {
+        self.monitor.publish_job_event(JobEvent {
+            at: info.completed_at.unwrap_or(info.submitted_at),
+            job: info.job,
+            task: info.task,
+            site: info.site,
+            status: info.status,
+        });
+        let mut by_job = self.by_job.write();
+        let tasks = by_job.entry(info.job).or_default();
+        if !tasks.contains(&info.task) {
+            tasks.push(info.task);
+        }
+        self.snapshots.write().insert(info.task, info);
+    }
+
+    /// The stored snapshot for a task, if any.
+    pub fn get(&self, task: TaskId) -> Option<JobMonitoringInfo> {
+        self.snapshots.read().get(&task).cloned()
+    }
+
+    /// Stored snapshots of all tasks of a job, in insertion order.
+    pub fn job_tasks(&self, job: JobId) -> Vec<JobMonitoringInfo> {
+        let by_job = self.by_job.read();
+        let snapshots = self.snapshots.read();
+        by_job
+            .get(&job)
+            .into_iter()
+            .flatten()
+            .filter_map(|t| snapshots.get(t).cloned())
+            .collect()
+    }
+
+    /// Number of stored snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.read().len()
+    }
+
+    /// True when the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gae_types::{CondorId, Priority, SimDuration, SimTime, SiteId, TaskStatus, UserId};
+
+    fn info(job: u64, task: u64, status: TaskStatus) -> JobMonitoringInfo {
+        JobMonitoringInfo {
+            job: JobId::new(job),
+            task: TaskId::new(task),
+            condor: CondorId::new(task),
+            site: SiteId::new(1),
+            status,
+            estimated_runtime: None,
+            remaining_time: None,
+            elapsed: SimDuration::ZERO,
+            queue_position: None,
+            priority: Priority::NORMAL,
+            submitted_at: SimTime::from_secs(1),
+            started_at: None,
+            completed_at: None,
+            cpu_time: SimDuration::ZERO,
+            input_io: 0,
+            output_io: 0,
+            owner: UserId::new(1),
+            env: Vec::new(),
+            progress: 0.0,
+        }
+    }
+
+    #[test]
+    fn store_and_get() {
+        let db = DbManager::new(MonAlisaRepository::with_defaults());
+        assert!(db.is_empty());
+        db.store(info(1, 1, TaskStatus::Completed));
+        assert_eq!(
+            db.get(TaskId::new(1)).unwrap().status,
+            TaskStatus::Completed
+        );
+        assert!(db.get(TaskId::new(2)).is_none());
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn refresh_replaces() {
+        let db = DbManager::new(MonAlisaRepository::with_defaults());
+        db.store(info(1, 1, TaskStatus::Running));
+        db.store(info(1, 1, TaskStatus::Completed));
+        assert_eq!(db.len(), 1);
+        assert_eq!(
+            db.get(TaskId::new(1)).unwrap().status,
+            TaskStatus::Completed
+        );
+    }
+
+    #[test]
+    fn job_index() {
+        let db = DbManager::new(MonAlisaRepository::with_defaults());
+        db.store(info(1, 1, TaskStatus::Completed));
+        db.store(info(1, 2, TaskStatus::Failed));
+        db.store(info(2, 3, TaskStatus::Completed));
+        assert_eq!(db.job_tasks(JobId::new(1)).len(), 2);
+        assert_eq!(db.job_tasks(JobId::new(2)).len(), 1);
+        assert!(db.job_tasks(JobId::new(3)).is_empty());
+    }
+
+    #[test]
+    fn publishes_to_monalisa() {
+        let monitor = MonAlisaRepository::with_defaults();
+        let db = DbManager::new(monitor.clone());
+        db.store(info(1, 1, TaskStatus::Completed));
+        let history = monitor.job_history(JobId::new(1));
+        assert_eq!(history.len(), 1);
+        assert_eq!(history[0].status, TaskStatus::Completed);
+    }
+}

@@ -1,0 +1,209 @@
+//! The monitoring record: every field §5 promises, plus its XML-RPC
+//! encoding.
+
+use gae_types::{
+    CondorId, GaeResult, JobId, Priority, SimDuration, SimTime, SiteId, TaskId, TaskStatus, UserId,
+};
+use gae_wire::Value;
+
+/// A snapshot of one task's monitoring state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobMonitoringInfo {
+    /// Owning job.
+    pub job: JobId,
+    /// The task.
+    pub task: TaskId,
+    /// Site-local (Condor) id.
+    pub condor: CondorId,
+    /// Site executing the task.
+    pub site: SiteId,
+    /// Lifecycle state.
+    pub status: TaskStatus,
+    /// Runtime estimated at submission (if an estimator bid).
+    pub estimated_runtime: Option<SimDuration>,
+    /// Estimated remaining runtime (estimate minus CPU time used).
+    pub remaining_time: Option<SimDuration>,
+    /// Wall time since first start (includes waits).
+    pub elapsed: SimDuration,
+    /// Queue position, when queued (0 = next).
+    pub queue_position: Option<usize>,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Submission instant.
+    pub submitted_at: SimTime,
+    /// First execution instant.
+    pub started_at: Option<SimTime>,
+    /// Completion instant.
+    pub completed_at: Option<SimTime>,
+    /// Accumulated CPU (wall-clock) time.
+    pub cpu_time: SimDuration,
+    /// Input bytes staged.
+    pub input_io: u64,
+    /// Output bytes written.
+    pub output_io: u64,
+    /// Owner.
+    pub owner: UserId,
+    /// Environment variables.
+    pub env: Vec<(String, String)>,
+    /// Fraction of the task's demand completed (0–1).
+    pub progress: f64,
+}
+
+impl JobMonitoringInfo {
+    /// Encodes as an XML-RPC struct (the JMExecutable's wire format).
+    pub fn to_value(&self) -> Value {
+        let env = Value::Array(
+            self.env
+                .iter()
+                .map(|(k, v)| {
+                    Value::struct_of([
+                        ("name", Value::from(k.as_str())),
+                        ("value", Value::from(v.as_str())),
+                    ])
+                })
+                .collect(),
+        );
+        Value::struct_of([
+            ("job", Value::from(self.job.raw())),
+            ("task", Value::from(self.task.raw())),
+            ("condor", Value::from(self.condor.raw())),
+            ("site", Value::from(self.site.raw())),
+            ("status", Value::from(self.status.to_string())),
+            (
+                "estimated_runtime_s",
+                self.estimated_runtime.map(|d| d.as_secs_f64()).into(),
+            ),
+            (
+                "remaining_time_s",
+                self.remaining_time.map(|d| d.as_secs_f64()).into(),
+            ),
+            ("elapsed_s", Value::from(self.elapsed.as_secs_f64())),
+            (
+                "queue_position",
+                self.queue_position.map(|p| p as i64).into(),
+            ),
+            ("priority", Value::Int(self.priority.level())),
+            ("submitted_us", Value::from(self.submitted_at.as_micros())),
+            ("started_us", self.started_at.map(|t| t.as_micros()).into()),
+            (
+                "completed_us",
+                self.completed_at.map(|t| t.as_micros()).into(),
+            ),
+            ("cpu_time_s", Value::from(self.cpu_time.as_secs_f64())),
+            ("input_io", Value::from(self.input_io)),
+            ("output_io", Value::from(self.output_io)),
+            ("owner", Value::from(self.owner.raw())),
+            ("env", env),
+            ("progress", Value::from(self.progress)),
+        ])
+    }
+
+    /// Decodes from the wire struct.
+    pub fn from_value(v: &Value) -> GaeResult<JobMonitoringInfo> {
+        let env = v
+            .member("env")?
+            .as_array()?
+            .iter()
+            .map(|e| {
+                Ok((
+                    e.member("name")?.as_str()?.to_string(),
+                    e.member("value")?.as_str()?.to_string(),
+                ))
+            })
+            .collect::<GaeResult<Vec<_>>>()?;
+        let opt_f64 = |key: &str| -> GaeResult<Option<f64>> {
+            Ok(match v.member_opt(key)? {
+                Some(x) => Some(x.as_f64()?),
+                None => None,
+            })
+        };
+        let opt_u64 = |key: &str| -> GaeResult<Option<u64>> {
+            Ok(match v.member_opt(key)? {
+                Some(x) => Some(x.as_u64()?),
+                None => None,
+            })
+        };
+        Ok(JobMonitoringInfo {
+            job: JobId::new(v.member("job")?.as_u64()?),
+            task: TaskId::new(v.member("task")?.as_u64()?),
+            condor: CondorId::new(v.member("condor")?.as_u64()?),
+            site: SiteId::new(v.member("site")?.as_u64()?),
+            status: v.member("status")?.as_str()?.parse()?,
+            estimated_runtime: opt_f64("estimated_runtime_s")?.map(SimDuration::from_secs_f64),
+            remaining_time: opt_f64("remaining_time_s")?.map(SimDuration::from_secs_f64),
+            elapsed: SimDuration::from_secs_f64(v.member("elapsed_s")?.as_f64()?),
+            queue_position: opt_u64("queue_position")?.map(|p| p as usize),
+            priority: Priority::new(v.member("priority")?.as_i32()?),
+            submitted_at: SimTime::from_micros(v.member("submitted_us")?.as_u64()?),
+            started_at: opt_u64("started_us")?.map(SimTime::from_micros),
+            completed_at: opt_u64("completed_us")?.map(SimTime::from_micros),
+            cpu_time: SimDuration::from_secs_f64(v.member("cpu_time_s")?.as_f64()?),
+            input_io: v.member("input_io")?.as_u64()?,
+            output_io: v.member("output_io")?.as_u64()?,
+            owner: UserId::new(v.member("owner")?.as_u64()?),
+            env,
+            progress: v.member("progress")?.as_f64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JobMonitoringInfo {
+        JobMonitoringInfo {
+            job: JobId::new(1),
+            task: TaskId::new(2),
+            condor: CondorId::new(3),
+            site: SiteId::new(4),
+            status: TaskStatus::Running,
+            estimated_runtime: Some(SimDuration::from_secs(283)),
+            remaining_time: Some(SimDuration::from_secs(100)),
+            elapsed: SimDuration::from_secs(200),
+            queue_position: None,
+            priority: Priority::new(2),
+            submitted_at: SimTime::from_secs(10),
+            started_at: Some(SimTime::from_secs(15)),
+            completed_at: None,
+            cpu_time: SimDuration::from_secs(183),
+            input_io: 1024,
+            output_io: 512,
+            owner: UserId::new(7),
+            env: vec![("CMS_CONFIG".into(), "/etc/cms".into())],
+            progress: 0.65,
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let info = sample();
+        let back = JobMonitoringInfo::from_value(&info.to_value()).unwrap();
+        assert_eq!(back, info);
+    }
+
+    #[test]
+    fn wire_roundtrip_with_nones() {
+        let mut info = sample();
+        info.estimated_runtime = None;
+        info.remaining_time = None;
+        info.started_at = None;
+        info.completed_at = None;
+        info.queue_position = Some(3);
+        info.status = TaskStatus::Queued;
+        info.env.clear();
+        let back = JobMonitoringInfo::from_value(&info.to_value()).unwrap();
+        assert_eq!(back, info);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(JobMonitoringInfo::from_value(&Value::Int(1)).is_err());
+        assert!(JobMonitoringInfo::from_value(&Value::empty_struct()).is_err());
+        let mut v = sample().to_value();
+        if let Value::Struct(m) = &mut v {
+            m.insert("status".into(), Value::from("zombie"));
+        }
+        assert!(JobMonitoringInfo::from_value(&v).is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! The JMManager (§5.3): query routing.
+//!
+//! "The JMManager gets the monitoring information either from the
+//! DBManager or from the Job Information Collector. It first queries
+//! the DBManager and if the information is not found in its
+//! repository, the request is forwarded to the Job Information
+//! Collector."
+
+use crate::jobmon::collector::JobInformationCollector;
+use crate::jobmon::db::DbManager;
+use crate::jobmon::info::JobMonitoringInfo;
+use gae_types::{GaeResult, JobId, TaskId};
+
+/// Routes monitoring queries DB-first, collector-second.
+pub struct JmManager {
+    db: DbManager,
+    collector: JobInformationCollector,
+}
+
+impl JmManager {
+    /// Wires the manager over its two sources.
+    pub fn new(db: DbManager, collector: JobInformationCollector) -> Self {
+        JmManager { db, collector }
+    }
+
+    /// The repository (for the collector's poll loop and tests).
+    pub fn db(&self) -> &DbManager {
+        &self.db
+    }
+
+    /// The collector.
+    pub fn collector(&self) -> &JobInformationCollector {
+        &self.collector
+    }
+
+    /// One polling round: collector drains execution events into the
+    /// repository.
+    pub fn poll(&self) {
+        self.collector.poll(&self.db);
+    }
+
+    /// Monitoring info for a task.
+    ///
+    /// The DB snapshot answers for settled tasks, but a task that was
+    /// resubmitted by Backup & Recovery is *live again* — a stored
+    /// terminal snapshot from its previous incarnation must not shadow
+    /// it. So: a live execution-service record always wins; among
+    /// terminal sources, the newer incarnation wins.
+    pub fn info(&self, task: TaskId) -> GaeResult<JobMonitoringInfo> {
+        let snapshot = self.db.get(task);
+        match self.collector.live_info(task) {
+            Ok(live) if live.status.is_live() => Ok(live),
+            Ok(live) => Ok(match snapshot {
+                Some(snap) if snap.submitted_at > live.submitted_at => snap,
+                _ => live,
+            }),
+            // Task unknown to every site but we had *some* snapshot:
+            // best effort, return it.
+            Err(e) => snapshot.ok_or(e),
+        }
+    }
+
+    /// Info for every known task of a job: tasks with stored
+    /// snapshots plus tasks found live on the execution services,
+    /// each resolved through [`JmManager::info`].
+    pub fn job_info(&self, job: JobId) -> Vec<JobMonitoringInfo> {
+        let mut task_ids: Vec<_> = self.db.job_tasks(job).into_iter().map(|i| i.task).collect();
+        for live in self.collector.live_job_tasks(job) {
+            if !task_ids.contains(&live) {
+                task_ids.push(live);
+            }
+        }
+        task_ids.sort();
+        task_ids
+            .into_iter()
+            .filter_map(|t| self.info(t).ok())
+            .collect()
+    }
+}

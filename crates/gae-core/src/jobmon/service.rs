@@ -1,0 +1,193 @@
+//! The Job Monitoring Service and its JMExecutable RPC facade.
+
+use crate::estimator::EstimatorService;
+use crate::grid::Grid;
+use crate::jobmon::collector::JobInformationCollector;
+use crate::jobmon::db::DbManager;
+use crate::jobmon::info::JobMonitoringInfo;
+use crate::jobmon::manager::JmManager;
+use gae_rpc::{CallContext, MethodInfo, Service};
+use gae_types::{GaeResult, JobId, JobStatus, TaskId, TaskStatus};
+use gae_wire::Value;
+use std::sync::Arc;
+
+/// The deployable Job Monitoring Service (Figure 3 assembled).
+pub struct JobMonitoringService {
+    manager: JmManager,
+}
+
+impl JobMonitoringService {
+    /// Wires collector + DBManager + JMManager over the grid.
+    pub fn new(grid: Arc<Grid>, estimators: Arc<EstimatorService>) -> Self {
+        let db = DbManager::new(grid.monitor().clone());
+        let collector = JobInformationCollector::new(grid, estimators);
+        JobMonitoringService {
+            manager: JmManager::new(db, collector),
+        }
+    }
+
+    /// One polling round (drains execution events into the DB and
+    /// MonALISA).
+    pub fn poll(&self) {
+        self.manager.poll();
+    }
+
+    /// Full monitoring info for one task.
+    pub fn job_info(&self, task: TaskId) -> GaeResult<JobMonitoringInfo> {
+        self.manager.info(task)
+    }
+
+    /// Just the status of one task.
+    pub fn task_status(&self, task: TaskId) -> GaeResult<TaskStatus> {
+        self.manager.info(task).map(|i| i.status)
+    }
+
+    /// Info for every known task of a job.
+    pub fn job_tasks(&self, job: JobId) -> Vec<JobMonitoringInfo> {
+        self.manager.job_info(job)
+    }
+
+    /// Aggregate status of a job derived from its tasks' statuses.
+    pub fn job_status(&self, job: JobId) -> JobStatus {
+        JobStatus::derive(self.manager.job_info(job).iter().map(|i| i.status))
+    }
+
+    /// All tasks currently live on any execution service, in task-id
+    /// order — the "what is my grid doing right now" view.
+    pub fn list_active(&self) -> Vec<JobMonitoringInfo> {
+        let collector = self.manager.collector();
+        let mut out = Vec::new();
+        for site in collector.grid().site_ids() {
+            let Ok(exec) = collector.grid().exec(site) else {
+                continue;
+            };
+            let tasks: Vec<TaskId> = {
+                let guard = exec.lock();
+                guard
+                    .records()
+                    .filter(|r| {
+                        matches!(
+                            r.status,
+                            TaskStatus::Queued | TaskStatus::Running | TaskStatus::Suspended
+                        )
+                    })
+                    .map(|r| r.spec.id)
+                    .collect()
+            };
+            for t in tasks {
+                if let Ok(info) = self.manager.info(t) {
+                    if !out.iter().any(|i: &JobMonitoringInfo| i.task == info.task) {
+                        out.push(info);
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|i| i.task);
+        out
+    }
+
+    /// Access to the internals (integration tests).
+    pub fn manager(&self) -> &JmManager {
+        &self.manager
+    }
+}
+
+/// The JMExecutable: "serves to forward requests by the Steering
+/// Service to the JMManager" (§5.3) — our XML-RPC facade, registered
+/// as the `jobmon` service. This is the service Figure 6 benchmarks.
+pub struct JobMonitoringRpc {
+    service: Arc<JobMonitoringService>,
+}
+
+impl JobMonitoringRpc {
+    /// Wraps the service for RPC registration.
+    pub fn new(service: Arc<JobMonitoringService>) -> Self {
+        JobMonitoringRpc { service }
+    }
+}
+
+impl Service for JobMonitoringRpc {
+    fn name(&self) -> &'static str {
+        "jobmon"
+    }
+
+    fn call(&self, _ctx: &CallContext, method: &str, params: &[Value]) -> GaeResult<Value> {
+        match method {
+            "job_status" => {
+                let task = TaskId::new(params_id(params, 0)?);
+                Ok(Value::from(self.service.task_status(task)?.to_string()))
+            }
+            "job_info" => {
+                let task = TaskId::new(params_id(params, 0)?);
+                Ok(self.service.job_info(task)?.to_value())
+            }
+            "remaining_time" => {
+                let task = TaskId::new(params_id(params, 0)?);
+                Ok(self
+                    .service
+                    .job_info(task)?
+                    .remaining_time
+                    .map(|d| d.as_secs_f64())
+                    .into())
+            }
+            "job_tasks" => {
+                let job = JobId::new(params_id(params, 0)?);
+                Ok(Value::Array(
+                    self.service
+                        .job_tasks(job)
+                        .iter()
+                        .map(|i| i.to_value())
+                        .collect(),
+                ))
+            }
+            "list_active" => Ok(Value::Array(
+                self.service
+                    .list_active()
+                    .iter()
+                    .map(|i| i.to_value())
+                    .collect(),
+            )),
+            "job_aggregate_status" => {
+                let job = JobId::new(params_id(params, 0)?);
+                Ok(Value::from(self.service.job_status(job).to_string()))
+            }
+            other => Err(gae_rpc::service::unknown_method("jobmon", other)),
+        }
+    }
+
+    fn methods(&self) -> Vec<MethodInfo> {
+        vec![
+            MethodInfo {
+                name: "job_status",
+                help: "status string of one task",
+            },
+            MethodInfo {
+                name: "job_info",
+                help: "full monitoring struct of one task",
+            },
+            MethodInfo {
+                name: "remaining_time",
+                help: "estimated remaining seconds, or nil",
+            },
+            MethodInfo {
+                name: "job_tasks",
+                help: "monitoring structs of all tasks of a job",
+            },
+            MethodInfo {
+                name: "job_aggregate_status",
+                help: "aggregate job status derived from its tasks",
+            },
+            MethodInfo {
+                name: "list_active",
+                help: "monitoring structs of every live task on the grid",
+            },
+        ]
+    }
+}
+
+fn params_id(params: &[Value], i: usize) -> GaeResult<u64> {
+    params
+        .get(i)
+        .ok_or_else(|| gae_types::GaeError::Parse(format!("missing parameter {i}")))?
+        .as_u64()
+}

@@ -1,0 +1,278 @@
+//! XML-RPC facade over the MonALISA-substitute repository, registered
+//! as the `monalisa` service.
+//!
+//! The paper's services publish into MonALISA (§5.4) and read site
+//! load from it (§6.1d); this facade also lets external dashboards —
+//! the "Grid weather" view the introduction motivates — query the
+//! same repository over the wire.
+
+use gae_monitor::{MetricKey, MonAlisaRepository};
+use gae_rpc::{CallContext, MethodInfo, Service};
+use gae_types::{GaeError, GaeResult, JobId, SimTime, SiteId};
+use gae_wire::Value;
+use std::sync::Arc;
+
+/// The `monalisa` RPC service.
+pub struct MonAlisaRpc {
+    repo: Arc<MonAlisaRepository>,
+}
+
+impl MonAlisaRpc {
+    /// Wraps a repository for RPC registration.
+    pub fn new(repo: Arc<MonAlisaRepository>) -> Self {
+        MonAlisaRpc { repo }
+    }
+
+    fn key_from(params: &[Value]) -> GaeResult<MetricKey> {
+        if params.len() < 3 {
+            return Err(GaeError::Parse(
+                "expected (site, entity, param, ...)".into(),
+            ));
+        }
+        Ok(MetricKey::new(
+            SiteId::new(params[0].as_u64()?),
+            params[1].as_str()?.to_string(),
+            params[2].as_str()?.to_string(),
+        ))
+    }
+}
+
+impl Service for MonAlisaRpc {
+    fn name(&self) -> &'static str {
+        "monalisa"
+    }
+
+    fn call(&self, _ctx: &CallContext, method: &str, params: &[Value]) -> GaeResult<Value> {
+        match method {
+            "site_load" => {
+                let site = SiteId::new(
+                    params
+                        .first()
+                        .ok_or_else(|| GaeError::Parse("site_load(site)".into()))?
+                        .as_u64()?,
+                );
+                Ok(self.repo.site_load(site).into())
+            }
+            "queue_length" => {
+                let site = SiteId::new(
+                    params
+                        .first()
+                        .ok_or_else(|| GaeError::Parse("queue_length(site)".into()))?
+                        .as_u64()?,
+                );
+                Ok(self.repo.queue_length(site).into())
+            }
+            "publish" => {
+                // publish(site, entity, param, at_us, value)
+                if params.len() != 5 {
+                    return Err(GaeError::Parse(
+                        "publish(site, entity, param, at_us, value)".into(),
+                    ));
+                }
+                let key = Self::key_from(params)?;
+                let at = SimTime::from_micros(params[3].as_u64()?);
+                self.repo.publish_metric(key, at, params[4].as_f64()?);
+                Ok(Value::Bool(true))
+            }
+            "latest" => {
+                let key = Self::key_from(params)?;
+                Ok(match self.repo.latest(&key) {
+                    Some(s) => Value::struct_of([
+                        ("at_us", Value::from(s.at.as_micros())),
+                        ("value", Value::from(s.value)),
+                    ]),
+                    None => Value::Nil,
+                })
+            }
+            "range" => {
+                // range(site, entity, param, from_us, to_us)
+                if params.len() != 5 {
+                    return Err(GaeError::Parse(
+                        "range(site, entity, param, from_us, to_us)".into(),
+                    ));
+                }
+                let key = Self::key_from(params)?;
+                let from = SimTime::from_micros(params[3].as_u64()?);
+                let to = SimTime::from_micros(params[4].as_u64()?);
+                Ok(Value::Array(
+                    self.repo
+                        .range(&key, from, to)
+                        .into_iter()
+                        .map(|s| {
+                            Value::struct_of([
+                                ("at_us", Value::from(s.at.as_micros())),
+                                ("value", Value::from(s.value)),
+                            ])
+                        })
+                        .collect(),
+                ))
+            }
+            "job_history" => {
+                let job = JobId::new(
+                    params
+                        .first()
+                        .ok_or_else(|| GaeError::Parse("job_history(job)".into()))?
+                        .as_u64()?,
+                );
+                Ok(Value::Array(
+                    self.repo
+                        .job_history(job)
+                        .into_iter()
+                        .map(|e| {
+                            Value::struct_of([
+                                ("at_us", Value::from(e.at.as_micros())),
+                                ("task", Value::from(e.task.raw())),
+                                ("site", Value::from(e.site.raw())),
+                                ("status", Value::from(e.status.to_string())),
+                            ])
+                        })
+                        .collect(),
+                ))
+            }
+            other => Err(gae_rpc::service::unknown_method("monalisa", other)),
+        }
+    }
+
+    fn methods(&self) -> Vec<MethodInfo> {
+        vec![
+            MethodInfo {
+                name: "site_load",
+                help: "latest farm-wide cpu load of a site",
+            },
+            MethodInfo {
+                name: "queue_length",
+                help: "latest queue length of a site",
+            },
+            MethodInfo {
+                name: "publish",
+                help: "publish one metric sample",
+            },
+            MethodInfo {
+                name: "latest",
+                help: "latest sample of (site, entity, param)",
+            },
+            MethodInfo {
+                name: "range",
+                help: "samples of a metric within a time window",
+            },
+            MethodInfo {
+                name: "job_history",
+                help: "state-change events of a job",
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> CallContext {
+        CallContext::anonymous("test")
+    }
+
+    #[test]
+    fn publish_then_query() {
+        let repo = MonAlisaRepository::with_defaults();
+        let svc = MonAlisaRpc::new(repo.clone());
+        svc.call(
+            &ctx(),
+            "publish",
+            &[
+                Value::from(1u64),
+                Value::from("farm"),
+                Value::from("cpu_load"),
+                Value::from(5_000_000u64),
+                Value::Double(2.5),
+            ],
+        )
+        .unwrap();
+        let load = svc.call(&ctx(), "site_load", &[Value::from(1u64)]).unwrap();
+        assert_eq!(load.as_f64().unwrap(), 2.5);
+        let latest = svc
+            .call(
+                &ctx(),
+                "latest",
+                &[
+                    Value::from(1u64),
+                    Value::from("farm"),
+                    Value::from("cpu_load"),
+                ],
+            )
+            .unwrap();
+        assert_eq!(latest.member("value").unwrap().as_f64().unwrap(), 2.5);
+    }
+
+    #[test]
+    fn missing_metrics_are_nil() {
+        let svc = MonAlisaRpc::new(MonAlisaRepository::with_defaults());
+        assert!(svc
+            .call(&ctx(), "site_load", &[Value::from(9u64)])
+            .unwrap()
+            .is_nil());
+        assert!(svc
+            .call(
+                &ctx(),
+                "latest",
+                &[Value::from(9u64), Value::from("x"), Value::from("y")]
+            )
+            .unwrap()
+            .is_nil());
+    }
+
+    #[test]
+    fn range_query_over_rpc() {
+        let repo = MonAlisaRepository::with_defaults();
+        let svc = MonAlisaRpc::new(repo.clone());
+        for t in 1..=5u64 {
+            repo.publish_site_load(SiteId::new(1), SimTime::from_secs(t), t as f64);
+        }
+        let r = svc
+            .call(
+                &ctx(),
+                "range",
+                &[
+                    Value::from(1u64),
+                    Value::from("farm"),
+                    Value::from("cpu_load"),
+                    Value::from(2_000_000u64),
+                    Value::from(4_000_000u64),
+                ],
+            )
+            .unwrap();
+        assert_eq!(r.as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn job_history_over_rpc() {
+        use gae_monitor::JobEvent;
+        use gae_types::{TaskId, TaskStatus};
+        let repo = MonAlisaRepository::with_defaults();
+        let svc = MonAlisaRpc::new(repo.clone());
+        repo.publish_job_event(JobEvent {
+            at: SimTime::from_secs(1),
+            job: JobId::new(3),
+            task: TaskId::new(1),
+            site: SiteId::new(1),
+            status: TaskStatus::Completed,
+        });
+        let h = svc
+            .call(&ctx(), "job_history", &[Value::from(3u64)])
+            .unwrap();
+        let h = h.as_array().unwrap();
+        assert_eq!(h.len(), 1);
+        assert_eq!(
+            h[0].member("status").unwrap().as_str().unwrap(),
+            "completed"
+        );
+    }
+
+    #[test]
+    fn malformed_calls_fault() {
+        let svc = MonAlisaRpc::new(MonAlisaRepository::with_defaults());
+        assert!(svc.call(&ctx(), "publish", &[Value::from(1u64)]).is_err());
+        assert!(svc.call(&ctx(), "range", &[Value::from(1u64)]).is_err());
+        assert!(svc.call(&ctx(), "nope", &[]).is_err());
+        assert!(svc.call(&ctx(), "site_load", &[]).is_err());
+    }
+}

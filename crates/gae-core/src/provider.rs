@@ -1,0 +1,86 @@
+//! The estimator-backed site-information provider the scheduler
+//! decides over — the glue of §6.1 steps a–d: ask each site's runtime
+//! estimator, read MonALISA's load table, quote the cost.
+
+use crate::estimator::EstimatorService;
+use crate::grid::Grid;
+use crate::quota::QuotaService;
+use gae_sched::{SiteEstimate, SiteInfoProvider};
+use gae_types::{FileRef, GaeResult, SimDuration, SiteId, TaskSpec};
+use std::sync::Arc;
+
+/// [`SiteInfoProvider`] over the live grid.
+pub struct GridSiteInfo {
+    grid: Arc<Grid>,
+    estimators: Arc<EstimatorService>,
+    quota: Arc<QuotaService>,
+}
+
+impl GridSiteInfo {
+    /// Wires the provider.
+    pub fn new(
+        grid: Arc<Grid>,
+        estimators: Arc<EstimatorService>,
+        quota: Arc<QuotaService>,
+    ) -> Self {
+        GridSiteInfo {
+            grid,
+            estimators,
+            quota,
+        }
+    }
+
+    /// Runtime estimate with the deployment fallback: if the site's
+    /// history cannot produce an estimate (empty history — the §6.1a
+    /// "availability of the runtime estimator" caveat), fall back to
+    /// the user's requested CPU hours scaled by the site's speed.
+    fn runtime_estimate(&self, site: SiteId, task: &TaskSpec) -> SimDuration {
+        let base = match self.estimators.estimate_runtime(site, task) {
+            Ok(est) => est.runtime,
+            Err(_) => SimDuration::from_secs_f64(task.requested_cpu_hours * 3600.0),
+        };
+        // Express as wall time on this site's CPUs.
+        match self.grid.description(site) {
+            Ok(desc) => base.div_f64(desc.speed_factor),
+            Err(_) => base,
+        }
+    }
+}
+
+impl SiteInfoProvider for GridSiteInfo {
+    fn sites(&self) -> Vec<SiteId> {
+        self.grid.site_ids()
+    }
+
+    fn is_alive(&self, site: SiteId) -> bool {
+        self.grid.is_alive(site)
+    }
+
+    fn estimate(&self, site: SiteId, task: &TaskSpec) -> GaeResult<SiteEstimate> {
+        let runtime = self.runtime_estimate(site, task);
+        let queue_time = self.estimators.estimate_queue_time_for_spec(site, task)?;
+        // Files with no replica anywhere are produced by the job
+        // itself; they cost nothing to stage.
+        let stageable: Vec<FileRef> = task
+            .input_files
+            .iter()
+            .filter(|f| !f.replicas.is_empty())
+            .cloned()
+            .collect();
+        let transfer_time = self.estimators.estimate_transfer(&stageable, site)?;
+        let load = self.grid.monitor().site_load(site).unwrap_or_else(|| {
+            self.grid
+                .exec(site)
+                .map(|e| e.lock().current_load())
+                .unwrap_or(0.0)
+        });
+        let cost = self.quota.quote(site, runtime).unwrap_or(f64::MAX / 4.0);
+        Ok(SiteEstimate {
+            runtime,
+            queue_time,
+            transfer_time,
+            load,
+            cost,
+        })
+    }
+}

@@ -1,0 +1,406 @@
+//! Replica catalog: the data-grid half of the GAE's world.
+//!
+//! The paper's setting is a data grid — "large amounts of data ...
+//! have to be stored and replicated to several geographically
+//! distributed sites" and the middleware must identify "where the
+//! requested data is located" (§2) and manage "the locations from
+//! where the jobs access their required data" (§9). The catalog maps
+//! logical file names to replica locations, resolves task input lists
+//! before scheduling, and performs managed replication whose transfer
+//! time follows the grid's network model.
+
+use crate::grid::Grid;
+use gae_rpc::{CallContext, MethodInfo, Service};
+use gae_types::{FileRef, GaeError, GaeResult, SimTime, SiteId, TaskSpec};
+use gae_wire::Value;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One completed or in-flight managed replication.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransferRecord {
+    /// Logical file name.
+    pub lfn: String,
+    /// Source replica used.
+    pub from: SiteId,
+    /// Destination site.
+    pub to: SiteId,
+    /// When the transfer started.
+    pub started: SimTime,
+    /// When the replica becomes (became) available.
+    pub arrives: SimTime,
+}
+
+/// The replica catalog service.
+pub struct ReplicaCatalog {
+    grid: Arc<Grid>,
+    files: RwLock<HashMap<String, FileRef>>,
+    in_flight: Mutex<Vec<TransferRecord>>,
+    history: Mutex<Vec<TransferRecord>>,
+}
+
+impl ReplicaCatalog {
+    /// An empty catalog over the grid's network.
+    pub fn new(grid: Arc<Grid>) -> Arc<Self> {
+        Arc::new(ReplicaCatalog {
+            grid,
+            files: RwLock::new(HashMap::new()),
+            in_flight: Mutex::new(Vec::new()),
+            history: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Registers (or replaces) a logical file and its replicas.
+    pub fn register(&self, file: FileRef) {
+        self.files.write().insert(file.logical_name.clone(), file);
+    }
+
+    /// Looks up a logical file.
+    pub fn lookup(&self, lfn: &str) -> Option<FileRef> {
+        self.files.read().get(lfn).cloned()
+    }
+
+    /// Number of catalogued files.
+    pub fn len(&self) -> usize {
+        self.files.read().len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops one replica; the file stays catalogued even with no
+    /// replicas left (it can be re-produced).
+    pub fn delete_replica(&self, lfn: &str, site: SiteId) -> GaeResult<()> {
+        let mut files = self.files.write();
+        let file = files
+            .get_mut(lfn)
+            .ok_or_else(|| GaeError::NotFound(format!("lfn {lfn:?}")))?;
+        file.replicas.retain(|s| *s != site);
+        Ok(())
+    }
+
+    /// Starts a managed replication of `lfn` to `site` from its
+    /// nearest replica. Returns the arrival time; the new replica
+    /// becomes visible once [`ReplicaCatalog::poll`] passes it.
+    pub fn replicate(&self, lfn: &str, to: SiteId) -> GaeResult<SimTime> {
+        let file = self
+            .lookup(lfn)
+            .ok_or_else(|| GaeError::NotFound(format!("lfn {lfn:?}")))?;
+        if file.available_at(to) {
+            return Ok(self.grid.now()); // already there
+        }
+        // Coalesce with an identical transfer already in flight.
+        if let Some(t) = self
+            .in_flight
+            .lock()
+            .iter()
+            .find(|t| t.lfn == lfn && t.to == to)
+        {
+            return Ok(t.arrives);
+        }
+        let now = self.grid.now();
+        let (from, duration) = file
+            .replicas
+            .iter()
+            .map(|src| {
+                (
+                    *src,
+                    self.grid.network().transfer_time(*src, to, file.size_bytes),
+                )
+            })
+            .min_by_key(|(_, d)| *d)
+            .ok_or_else(|| GaeError::Estimator(format!("{lfn:?} has no replica to copy from")))?;
+        let record = TransferRecord {
+            lfn: lfn.to_string(),
+            from,
+            to,
+            started: now,
+            arrives: now + duration,
+        };
+        let arrives = record.arrives;
+        self.in_flight.lock().push(record);
+        Ok(arrives)
+    }
+
+    /// Applies every transfer that has arrived by the grid's current
+    /// time; returns how many replicas landed.
+    pub fn poll(&self) -> usize {
+        let now = self.grid.now();
+        let mut in_flight = self.in_flight.lock();
+        let mut landed = 0;
+        let mut remaining = Vec::with_capacity(in_flight.len());
+        for t in in_flight.drain(..) {
+            if t.arrives <= now {
+                if let Some(file) = self.files.write().get_mut(&t.lfn) {
+                    if !file.replicas.contains(&t.to) {
+                        file.replicas.push(t.to);
+                    }
+                }
+                self.history.lock().push(t);
+                landed += 1;
+            } else {
+                remaining.push(t);
+            }
+        }
+        *in_flight = remaining;
+        landed
+    }
+
+    /// Transfers still in flight.
+    pub fn in_flight(&self) -> Vec<TransferRecord> {
+        self.in_flight.lock().clone()
+    }
+
+    /// Completed transfers, in arrival order.
+    pub fn transfer_history(&self) -> Vec<TransferRecord> {
+        self.history.lock().clone()
+    }
+
+    /// Fills the replica lists of a task's inputs from the catalog
+    /// (by logical name) so the scheduler sees current data locality.
+    /// Unknown files pass through unchanged.
+    pub fn resolve_inputs(&self, mut spec: TaskSpec) -> TaskSpec {
+        let files = self.files.read();
+        for input in &mut spec.input_files {
+            if let Some(known) = files.get(&input.logical_name) {
+                input.size_bytes = known.size_bytes;
+                input.replicas = known.replicas.clone();
+            }
+        }
+        spec
+    }
+}
+
+/// XML-RPC facade, registered as the `replica` service.
+pub struct ReplicaRpc {
+    catalog: Arc<ReplicaCatalog>,
+}
+
+impl ReplicaRpc {
+    /// Wraps the catalog for RPC registration.
+    pub fn new(catalog: Arc<ReplicaCatalog>) -> Self {
+        ReplicaRpc { catalog }
+    }
+}
+
+impl Service for ReplicaRpc {
+    fn name(&self) -> &'static str {
+        "replica"
+    }
+
+    fn call(&self, _ctx: &CallContext, method: &str, params: &[Value]) -> GaeResult<Value> {
+        match method {
+            "register" => {
+                // register(lfn, size, [site...])
+                if params.len() != 3 {
+                    return Err(GaeError::Parse("register(lfn, size, sites)".into()));
+                }
+                let mut file = FileRef::new(params[0].as_str()?, params[1].as_u64()?);
+                for s in params[2].as_array()? {
+                    file.replicas.push(SiteId::new(s.as_u64()?));
+                }
+                self.catalog.register(file);
+                Ok(Value::Bool(true))
+            }
+            "lookup" => {
+                let lfn = params
+                    .first()
+                    .ok_or_else(|| GaeError::Parse("lookup(lfn)".into()))?
+                    .as_str()?;
+                Ok(match self.catalog.lookup(lfn) {
+                    Some(f) => Value::struct_of([
+                        ("lfn", Value::from(f.logical_name)),
+                        ("size", Value::from(f.size_bytes)),
+                        (
+                            "replicas",
+                            Value::Array(f.replicas.iter().map(|s| Value::from(s.raw())).collect()),
+                        ),
+                    ]),
+                    None => Value::Nil,
+                })
+            }
+            "replicate" => {
+                if params.len() != 2 {
+                    return Err(GaeError::Parse("replicate(lfn, to_site)".into()));
+                }
+                let lfn = params[0].as_str()?;
+                let to = SiteId::new(params[1].as_u64()?);
+                let arrives = self.catalog.replicate(lfn, to)?;
+                Ok(Value::from(arrives.as_micros()))
+            }
+            "delete_replica" => {
+                if params.len() != 2 {
+                    return Err(GaeError::Parse("delete_replica(lfn, site)".into()));
+                }
+                self.catalog
+                    .delete_replica(params[0].as_str()?, SiteId::new(params[1].as_u64()?))?;
+                Ok(Value::Bool(true))
+            }
+            other => Err(gae_rpc::service::unknown_method("replica", other)),
+        }
+    }
+
+    fn methods(&self) -> Vec<MethodInfo> {
+        vec![
+            MethodInfo {
+                name: "register",
+                help: "catalogue a logical file with replicas",
+            },
+            MethodInfo {
+                name: "lookup",
+                help: "replicas and size of a logical file",
+            },
+            MethodInfo {
+                name: "replicate",
+                help: "start a managed replication; returns the arrival time (µs)",
+            },
+            MethodInfo {
+                name: "delete_replica",
+                help: "drop one replica of a file",
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridBuilder;
+    use gae_sim::{Link, NetworkModel};
+    use gae_types::{SimDuration, SiteDescription};
+
+    fn grid() -> Arc<Grid> {
+        let mut net = NetworkModel::new(Link::new(1e6, SimDuration::ZERO));
+        net.set_symmetric(
+            SiteId::new(1),
+            SiteId::new(2),
+            Link::new(1e6, SimDuration::ZERO),
+        );
+        GridBuilder::new()
+            .site(SiteDescription::new(SiteId::new(1), "a", 1, 1))
+            .site(SiteDescription::new(SiteId::new(2), "b", 1, 1))
+            .network(net)
+            .build()
+    }
+
+    #[test]
+    fn register_lookup_delete() {
+        let catalog = ReplicaCatalog::new(grid());
+        assert!(catalog.is_empty());
+        catalog.register(FileRef::new("lfn:/a", 100).with_replicas(vec![SiteId::new(1)]));
+        assert_eq!(catalog.len(), 1);
+        let f = catalog.lookup("lfn:/a").unwrap();
+        assert!(f.available_at(SiteId::new(1)));
+        catalog.delete_replica("lfn:/a", SiteId::new(1)).unwrap();
+        assert!(!catalog
+            .lookup("lfn:/a")
+            .unwrap()
+            .available_at(SiteId::new(1)));
+        assert!(catalog.delete_replica("lfn:/zzz", SiteId::new(1)).is_err());
+        assert!(catalog.lookup("lfn:/zzz").is_none());
+    }
+
+    #[test]
+    fn replication_takes_network_time() {
+        let g = grid();
+        let catalog = ReplicaCatalog::new(g.clone());
+        // 10 MB at 1 MB/s = 10 s.
+        catalog.register(FileRef::new("lfn:/d", 10_000_000).with_replicas(vec![SiteId::new(1)]));
+        let arrives = catalog.replicate("lfn:/d", SiteId::new(2)).unwrap();
+        assert_eq!(arrives, SimTime::from_secs(10));
+        assert_eq!(catalog.in_flight().len(), 1);
+        // Not there yet.
+        g.advance_to(SimTime::from_secs(5));
+        catalog.poll();
+        assert!(!catalog
+            .lookup("lfn:/d")
+            .unwrap()
+            .available_at(SiteId::new(2)));
+        // Arrived.
+        g.advance_to(SimTime::from_secs(10));
+        assert_eq!(catalog.poll(), 1);
+        assert!(catalog
+            .lookup("lfn:/d")
+            .unwrap()
+            .available_at(SiteId::new(2)));
+        assert_eq!(catalog.transfer_history().len(), 1);
+        assert!(catalog.in_flight().is_empty());
+    }
+
+    #[test]
+    fn duplicate_replication_coalesces() {
+        let g = grid();
+        let catalog = ReplicaCatalog::new(g.clone());
+        catalog.register(FileRef::new("lfn:/d", 10_000_000).with_replicas(vec![SiteId::new(1)]));
+        let a = catalog.replicate("lfn:/d", SiteId::new(2)).unwrap();
+        let b = catalog.replicate("lfn:/d", SiteId::new(2)).unwrap();
+        assert_eq!(a, b, "second request joins the first transfer");
+        assert_eq!(catalog.in_flight().len(), 1);
+        // Replicating to a site that already holds it is instant.
+        let c = catalog.replicate("lfn:/d", SiteId::new(1)).unwrap();
+        assert_eq!(c, g.now());
+    }
+
+    #[test]
+    fn replication_needs_a_source() {
+        let catalog = ReplicaCatalog::new(grid());
+        catalog.register(FileRef::new("lfn:/orphan", 1));
+        assert!(catalog.replicate("lfn:/orphan", SiteId::new(2)).is_err());
+        assert!(catalog.replicate("lfn:/missing", SiteId::new(2)).is_err());
+    }
+
+    #[test]
+    fn resolve_inputs_fills_replicas() {
+        let catalog = ReplicaCatalog::new(grid());
+        catalog.register(FileRef::new("lfn:/known", 5_000).with_replicas(vec![SiteId::new(2)]));
+        let spec = gae_types::TaskSpec::new(gae_types::TaskId::new(1), "t", "x").with_inputs(vec![
+            FileRef::new("lfn:/known", 0),
+            FileRef::new("lfn:/unknown", 7),
+        ]);
+        let resolved = catalog.resolve_inputs(spec);
+        assert_eq!(resolved.input_files[0].size_bytes, 5_000);
+        assert!(resolved.input_files[0].available_at(SiteId::new(2)));
+        assert_eq!(resolved.input_files[1].size_bytes, 7, "unknown untouched");
+    }
+
+    #[test]
+    fn rpc_facade_roundtrip() {
+        let catalog = ReplicaCatalog::new(grid());
+        let svc = ReplicaRpc::new(catalog.clone());
+        let ctx = CallContext::anonymous("t");
+        svc.call(
+            &ctx,
+            "register",
+            &[
+                Value::from("lfn:/x"),
+                Value::from(1_000_000u64),
+                Value::Array(vec![Value::from(1u64)]),
+            ],
+        )
+        .unwrap();
+        let f = svc.call(&ctx, "lookup", &[Value::from("lfn:/x")]).unwrap();
+        assert_eq!(f.member("size").unwrap().as_u64().unwrap(), 1_000_000);
+        let arrives = svc
+            .call(
+                &ctx,
+                "replicate",
+                &[Value::from("lfn:/x"), Value::from(2u64)],
+            )
+            .unwrap();
+        assert_eq!(arrives.as_u64().unwrap(), 1_000_000, "1 s in µs");
+        svc.call(
+            &ctx,
+            "delete_replica",
+            &[Value::from("lfn:/x"), Value::from(1u64)],
+        )
+        .unwrap();
+        assert!(svc
+            .call(&ctx, "lookup", &[Value::from("lfn:/nope")])
+            .unwrap()
+            .is_nil());
+        assert!(svc.call(&ctx, "bogus", &[]).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! The steering XML-RPC facade, registered as the `steering` service.
+//!
+//! Every method requires an authenticated session; the Session
+//! Manager then checks the caller owns the job (or is an operator).
+
+use crate::steering::service::{SteeringCommand, SteeringService};
+use gae_rpc::{CallContext, MethodInfo, Service};
+use gae_types::{GaeResult, Priority, SiteId, TaskId};
+use gae_wire::Value;
+use std::sync::Arc;
+
+/// XML-RPC wrapper over [`SteeringService`].
+pub struct SteeringRpc {
+    service: Arc<SteeringService>,
+}
+
+impl SteeringRpc {
+    /// Wraps the service for RPC registration.
+    pub fn new(service: Arc<SteeringService>) -> Self {
+        SteeringRpc { service }
+    }
+
+    fn task_param(params: &[Value], i: usize) -> GaeResult<TaskId> {
+        Ok(TaskId::new(
+            params
+                .get(i)
+                .ok_or_else(|| gae_types::GaeError::Parse(format!("missing parameter {i}")))?
+                .as_u64()?,
+        ))
+    }
+}
+
+impl Service for SteeringRpc {
+    fn name(&self) -> &'static str {
+        "steering"
+    }
+
+    fn call(&self, ctx: &CallContext, method: &str, params: &[Value]) -> GaeResult<Value> {
+        let user = ctx.require_user()?;
+        match method {
+            "kill" => {
+                let task = Self::task_param(params, 0)?;
+                self.service.command(user, task, SteeringCommand::Kill)?;
+                Ok(Value::Bool(true))
+            }
+            "pause" => {
+                let task = Self::task_param(params, 0)?;
+                self.service.command(user, task, SteeringCommand::Pause)?;
+                Ok(Value::Bool(true))
+            }
+            "resume" => {
+                let task = Self::task_param(params, 0)?;
+                self.service.command(user, task, SteeringCommand::Resume)?;
+                Ok(Value::Bool(true))
+            }
+            "set_priority" => {
+                let task = Self::task_param(params, 0)?;
+                let level = params
+                    .get(1)
+                    .ok_or_else(|| gae_types::GaeError::Parse("missing priority".into()))?
+                    .as_i32()?;
+                self.service.command(
+                    user,
+                    task,
+                    SteeringCommand::SetPriority(Priority::new(level)),
+                )?;
+                Ok(Value::Bool(true))
+            }
+            "move" => {
+                let task = Self::task_param(params, 0)?;
+                // Second parameter: target site id, or 0/absent for
+                // "let the Optimizer choose".
+                let target = match params.get(1) {
+                    Some(v) if !v.is_nil() => {
+                        let raw = v.as_u64()?;
+                        if raw == 0 {
+                            None
+                        } else {
+                            Some(SiteId::new(raw))
+                        }
+                    }
+                    _ => None,
+                };
+                self.service
+                    .command(user, task, SteeringCommand::Move(target))?;
+                Ok(Value::Bool(true))
+            }
+            "kill_job" | "pause_job" | "resume_job" => {
+                let job = gae_types::JobId::new(
+                    params
+                        .first()
+                        .ok_or_else(|| gae_types::GaeError::Parse("missing job id".into()))?
+                        .as_u64()?,
+                );
+                let cmd = match method {
+                    "kill_job" => SteeringCommand::Kill,
+                    "pause_job" => SteeringCommand::Pause,
+                    _ => SteeringCommand::Resume,
+                };
+                let affected = self.service.command_job(user, job, cmd)?;
+                Ok(Value::Int64(affected as i64))
+            }
+            "set_job_priority" => {
+                let job = gae_types::JobId::new(
+                    params
+                        .first()
+                        .ok_or_else(|| gae_types::GaeError::Parse("missing job id".into()))?
+                        .as_u64()?,
+                );
+                let level = params
+                    .get(1)
+                    .ok_or_else(|| gae_types::GaeError::Parse("missing priority".into()))?
+                    .as_i32()?;
+                let affected = self.service.command_job(
+                    user,
+                    job,
+                    SteeringCommand::SetPriority(Priority::new(level)),
+                )?;
+                Ok(Value::Int64(affected as i64))
+            }
+            "my_jobs" => Ok(Value::Array(
+                self.service
+                    .jobs_of(user)
+                    .into_iter()
+                    .map(|j| Value::from(j.raw()))
+                    .collect(),
+            )),
+            "execution_state" => {
+                let task = Self::task_param(params, 0)?;
+                match self.service.execution_state(task) {
+                    Some(state) => Ok(Value::struct_of([
+                        ("task", Value::from(state.task.raw())),
+                        ("site", Value::from(state.site.raw())),
+                        ("status", Value::from(state.status.to_string())),
+                        ("cpu_time_s", Value::from(state.cpu_time.as_secs_f64())),
+                        ("output_bytes", Value::from(state.output_bytes)),
+                        ("collected_us", Value::from(state.collected_at.as_micros())),
+                    ])),
+                    None => Ok(Value::Nil),
+                }
+            }
+            "job_progress" => {
+                let task = Self::task_param(params, 0)?;
+                let (cpu, elapsed, progress) = self.service.job_progress(task)?;
+                Ok(Value::struct_of([
+                    ("cpu_time_s", Value::from(cpu.as_secs_f64())),
+                    ("elapsed_s", Value::from(elapsed.as_secs_f64())),
+                    ("progress", Value::from(progress)),
+                ]))
+            }
+            other => Err(gae_rpc::service::unknown_method("steering", other)),
+        }
+    }
+
+    fn methods(&self) -> Vec<MethodInfo> {
+        vec![
+            MethodInfo {
+                name: "kill",
+                help: "kill a task (owner or operator only)",
+            },
+            MethodInfo {
+                name: "pause",
+                help: "suspend a running task",
+            },
+            MethodInfo {
+                name: "resume",
+                help: "resume a suspended task",
+            },
+            MethodInfo {
+                name: "set_priority",
+                help: "change a task's priority",
+            },
+            MethodInfo {
+                name: "move",
+                help: "move a task to a site (0 = let the optimizer choose)",
+            },
+            MethodInfo {
+                name: "job_progress",
+                help: "cpu time, elapsed time and progress fraction of a task",
+            },
+            MethodInfo {
+                name: "execution_state",
+                help: "collected execution state of a settled task, or nil",
+            },
+            MethodInfo {
+                name: "kill_job",
+                help: "kill every live task of a job",
+            },
+            MethodInfo {
+                name: "pause_job",
+                help: "suspend every live task of a job",
+            },
+            MethodInfo {
+                name: "resume_job",
+                help: "resume every live task of a job",
+            },
+            MethodInfo {
+                name: "set_job_priority",
+                help: "change the priority of every live task of a job",
+            },
+            MethodInfo {
+                name: "my_jobs",
+                help: "job ids owned by the calling session",
+            },
+        ]
+    }
+}

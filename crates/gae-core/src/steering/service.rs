@@ -1,0 +1,797 @@
+//! The Steering Service proper: Command Processor, Optimizer, and
+//! Backup & Recovery over the Subscriber's state.
+
+use crate::estimator::EstimatorService;
+use crate::grid::Grid;
+use crate::jobmon::JobMonitoringService;
+use crate::quota::QuotaService;
+use crate::steering::session::JobAuthorizer;
+use crate::steering::state::{TaskPhase, TrackedJob};
+use crate::steering::SteeringPolicy;
+use gae_exec::Checkpoint;
+use gae_sched::Scheduler;
+use gae_types::{
+    ConcretePlan, GaeError, GaeResult, JobId, OptimizationPreference, Priority, SimDuration,
+    SimTime, SiteId, TaskId, TaskSpec, TaskStatus, UserId,
+};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A client-visible steering command (§4: "kill, pause, and resume,
+/// change priority of the job or moving the job to some other
+/// execution site").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SteeringCommand {
+    /// Terminate the task.
+    Kill,
+    /// Suspend execution (keeps the slot).
+    Pause,
+    /// Resume a paused task.
+    Resume,
+    /// Change the scheduling priority.
+    SetPriority(Priority),
+    /// Move to another site (`None` = let the Optimizer pick).
+    Move(Option<SiteId>),
+}
+
+/// Why a task was moved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MoveReason {
+    /// A user asked for it.
+    Manual,
+    /// The Optimizer judged progress too slow.
+    SlowProgress,
+    /// Backup & Recovery resubmitted after a failure.
+    Recovery,
+    /// The execution layer flocked the queued task to a partner pool.
+    Flocked,
+}
+
+/// Client notifications ("the Steering Service notifies the client
+/// about the failure ... \[and\] about the completion of the job",
+/// §4.2.4). Drained by [`SteeringService::drain_notifications`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Notification {
+    /// Every task of the job completed; the execution state was
+    /// collected from the execution services.
+    JobCompleted {
+        /// The job.
+        job: JobId,
+        /// Completion time.
+        at: SimTime,
+    },
+    /// The job can no longer complete.
+    JobFailed {
+        /// The job.
+        job: JobId,
+        /// Failure time.
+        at: SimTime,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A task failed (recovery may still be in progress).
+    TaskFailed {
+        /// The task.
+        task: TaskId,
+        /// Site it failed at.
+        site: SiteId,
+        /// Failure time.
+        at: SimTime,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A task was re-placed.
+    TaskMoved {
+        /// The task.
+        task: TaskId,
+        /// Old site.
+        from: SiteId,
+        /// New site.
+        to: SiteId,
+        /// When.
+        at: SimTime,
+        /// Why.
+        reason: MoveReason,
+    },
+}
+
+/// A log entry of one move decision (Figure 7 diagnostics).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MoveRecord {
+    /// The task moved.
+    pub task: TaskId,
+    /// Old site.
+    pub from: SiteId,
+    /// New site.
+    pub to: SiteId,
+    /// Decision instant.
+    pub at: SimTime,
+    /// Why.
+    pub reason: MoveReason,
+}
+
+/// The execution state the Backup & Recovery module collects from the
+/// execution service when a task settles (§4.2.4: "gets the execution
+/// state from the execution service. This execution state is made
+/// available for download").
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecutionState {
+    /// The task.
+    pub task: TaskId,
+    /// Site it settled at.
+    pub site: SiteId,
+    /// Terminal status.
+    pub status: TaskStatus,
+    /// CPU time consumed.
+    pub cpu_time: SimDuration,
+    /// Output bytes the task produced (all of them for completed
+    /// tasks, the partial output "local files ... produced by the
+    /// failed job" otherwise).
+    pub output_bytes: u64,
+    /// When the state was collected.
+    pub collected_at: SimTime,
+}
+
+/// Owner and live (unsettled) tasks of a tracked job.
+fn owner_and_live_tasks(tracked: &TrackedJob) -> (UserId, Vec<TaskId>) {
+    let tasks = tracked
+        .plan
+        .job
+        .task_ids()
+        .into_iter()
+        .filter(|t| !tracked.tasks[t].phase.is_settled())
+        .collect();
+    (tracked.owner(), tasks)
+}
+
+/// The Steering Service.
+pub struct SteeringService {
+    grid: Arc<Grid>,
+    scheduler: Arc<Scheduler>,
+    jobmon: Arc<JobMonitoringService>,
+    estimators: Arc<EstimatorService>,
+    quota: Arc<QuotaService>,
+    policy: RwLock<SteeringPolicy>,
+    jobs: RwLock<HashMap<JobId, TrackedJob>>,
+    task_index: RwLock<HashMap<TaskId, JobId>>,
+    authorizer: JobAuthorizer,
+    notifications: Mutex<Vec<Notification>>,
+    moves: Mutex<Vec<MoveRecord>>,
+    execution_states: Mutex<HashMap<TaskId, ExecutionState>>,
+}
+
+impl SteeringService {
+    /// Wires the service over its collaborators (Figure 1).
+    pub fn new(
+        grid: Arc<Grid>,
+        scheduler: Arc<Scheduler>,
+        jobmon: Arc<JobMonitoringService>,
+        estimators: Arc<EstimatorService>,
+        quota: Arc<QuotaService>,
+        policy: SteeringPolicy,
+    ) -> Self {
+        SteeringService {
+            grid,
+            scheduler,
+            jobmon,
+            estimators,
+            quota,
+            policy: RwLock::new(policy),
+            jobs: RwLock::new(HashMap::new()),
+            task_index: RwLock::new(HashMap::new()),
+            authorizer: JobAuthorizer::new(),
+            notifications: Mutex::new(Vec::new()),
+            moves: Mutex::new(Vec::new()),
+            execution_states: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The Session Manager.
+    pub fn authorizer(&self) -> &JobAuthorizer {
+        &self.authorizer
+    }
+
+    /// The current policy.
+    pub fn policy(&self) -> SteeringPolicy {
+        *self.policy.read()
+    }
+
+    /// Replaces the policy at runtime.
+    pub fn set_policy(&self, policy: SteeringPolicy) {
+        *self.policy.write() = policy;
+    }
+
+    // ---- Subscriber ----
+
+    /// Accepts a concrete plan from the scheduler (§4.2.1) and
+    /// submits every ready task.
+    pub fn subscribe_plan(&self, plan: ConcretePlan) -> GaeResult<()> {
+        let job_id = plan.job_id();
+        let tracked = TrackedJob::subscribe(plan)?;
+        {
+            let mut index = self.task_index.write();
+            for t in tracked.plan.job.task_ids() {
+                index.insert(t, job_id);
+            }
+        }
+        self.jobs.write().insert(job_id, tracked);
+        self.submit_ready(job_id)
+    }
+
+    /// Submits every ready task of a job to its planned site.
+    fn submit_ready(&self, job_id: JobId) -> GaeResult<()> {
+        loop {
+            // Snapshot the ready set without holding the lock across
+            // execution-service calls.
+            let ready: Vec<(TaskId, SiteId, TaskSpec)> = {
+                let jobs = self.jobs.read();
+                let Some(tracked) = jobs.get(&job_id) else {
+                    return Ok(());
+                };
+                tracked
+                    .ready_tasks()
+                    .into_iter()
+                    .filter_map(|t| {
+                        let site = tracked.plan.site_of(t)?;
+                        let spec = tracked.plan.job.task(t)?.clone();
+                        Some((t, site, spec))
+                    })
+                    .collect()
+            };
+            if ready.is_empty() {
+                return Ok(());
+            }
+            for (task, site, spec) in ready {
+                self.submit_task_to(job_id, task, site, spec, None)?;
+            }
+        }
+    }
+
+    /// Submits one task, recording its submission-time runtime
+    /// estimate in the site's estimate database (§6.2c).
+    fn submit_task_to(
+        &self,
+        job_id: JobId,
+        task: TaskId,
+        site: SiteId,
+        spec: TaskSpec,
+        checkpoint: Option<Checkpoint>,
+    ) -> GaeResult<()> {
+        let estimate = self
+            .estimators
+            .estimate_runtime(site, &spec)
+            .map(|e| e.runtime)
+            .unwrap_or_else(|_| SimDuration::from_secs_f64(spec.requested_cpu_hours * 3600.0));
+        let condor = self.grid.submit(site, spec, checkpoint)?;
+        self.estimators.record_submission(site, condor, estimate);
+        if let Some(tracked) = self.jobs.write().get_mut(&job_id) {
+            if let Some(t) = tracked.tasks.get_mut(&task) {
+                t.phase = TaskPhase::Submitted { site, condor };
+            }
+        }
+        Ok(())
+    }
+
+    // ---- Command Processor (§4.2.2) ----
+
+    /// Executes a user command against a task, enforcing the Session
+    /// Manager's authorization.
+    pub fn command(&self, user: UserId, task: TaskId, cmd: SteeringCommand) -> GaeResult<()> {
+        let job_id = self.job_of(task)?;
+        let owner = {
+            let jobs = self.jobs.read();
+            jobs.get(&job_id)
+                .ok_or_else(|| GaeError::NotFound(job_id.to_string()))?
+                .owner()
+        };
+        self.authorizer.authorize(user, job_id, owner)?;
+        match cmd {
+            SteeringCommand::Kill => {
+                let (site, condor) = self.location(job_id, task)?;
+                self.grid.exec(site)?.lock().kill(condor)?;
+                if let Some(tracked) = self.jobs.write().get_mut(&job_id) {
+                    tracked.tasks.get_mut(&task).expect("indexed task").phase = TaskPhase::Killed;
+                }
+                Ok(())
+            }
+            SteeringCommand::Pause => {
+                let (site, condor) = self.location(job_id, task)?;
+                self.grid.exec(site)?.lock().suspend(condor)
+            }
+            SteeringCommand::Resume => {
+                let (site, condor) = self.location(job_id, task)?;
+                self.grid.exec(site)?.lock().resume(condor)
+            }
+            SteeringCommand::SetPriority(p) => {
+                let (site, condor) = self.location(job_id, task)?;
+                self.grid.exec(site)?.lock().set_priority(condor, p)
+            }
+            SteeringCommand::Move(target) => {
+                self.move_task(job_id, task, target, MoveReason::Manual)
+            }
+        }
+    }
+
+    /// Applies a command to **every live task of a job** — the paper
+    /// phrases the command set at job granularity ("kill, pause, and
+    /// resume, change priority of the job or moving the job", §4).
+    /// Returns how many tasks the command reached; per-task errors on
+    /// settled tasks are skipped rather than aborting the sweep.
+    pub fn command_job(
+        &self,
+        user: UserId,
+        job_id: JobId,
+        cmd: SteeringCommand,
+    ) -> GaeResult<usize> {
+        let (owner, tasks) = {
+            let jobs = self.jobs.read();
+            let tracked = jobs
+                .get(&job_id)
+                .ok_or_else(|| GaeError::NotFound(job_id.to_string()))?;
+            owner_and_live_tasks(tracked)
+        };
+        self.authorizer.authorize(user, job_id, owner)?;
+        let mut affected = 0;
+        for task in tasks {
+            if self.command(user, task, cmd).is_ok() {
+                affected += 1;
+            }
+        }
+        Ok(affected)
+    }
+
+    /// Jobs steered here that `user` owns, sorted by id.
+    pub fn jobs_of(&self, user: UserId) -> Vec<JobId> {
+        let mut out: Vec<JobId> = self
+            .jobs
+            .read()
+            .iter()
+            .filter(|(_, j)| j.owner() == user)
+            .map(|(id, _)| *id)
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn job_of(&self, task: TaskId) -> GaeResult<JobId> {
+        self.task_index
+            .read()
+            .get(&task)
+            .copied()
+            .ok_or_else(|| GaeError::NotFound(format!("{task} is not steered here")))
+    }
+
+    fn location(&self, job_id: JobId, task: TaskId) -> GaeResult<(SiteId, gae_types::CondorId)> {
+        let jobs = self.jobs.read();
+        jobs.get(&job_id)
+            .and_then(|j| j.location(task))
+            .ok_or_else(|| GaeError::NotFound(format!("{task} is not on any site")))
+    }
+
+    // ---- Optimizer (§4.2.2) + move plumbing ----
+
+    /// Moves a task to `target` (or the Optimizer's best site if
+    /// `None`), carrying a checkpoint when the task supports it.
+    /// "Requests for job redirection are sent to the scheduler."
+    pub fn move_task(
+        &self,
+        job_id: JobId,
+        task: TaskId,
+        target: Option<SiteId>,
+        reason: MoveReason,
+    ) -> GaeResult<()> {
+        let (from, condor) = self.location(job_id, task)?;
+        let preference = self.policy.read().preference;
+        let spec_for_scoring = {
+            let jobs = self.jobs.read();
+            jobs.get(&job_id)
+                .and_then(|j| j.plan.job.task(task).cloned())
+                .ok_or_else(|| GaeError::NotFound(task.to_string()))?
+        };
+        let to = match target {
+            Some(site) => {
+                if !self.grid.is_alive(site) {
+                    return Err(GaeError::ExecutionFailure(format!("{site} is down")));
+                }
+                site
+            }
+            None => {
+                self.scheduler
+                    .best_site(&spec_for_scoring, |_| true, &[from], preference)?
+                    .site
+            }
+        };
+        if to == from {
+            return Err(GaeError::InvalidPlan(format!("{task} is already at {to}")));
+        }
+        // Pull the task (with checkpoint if supported) and resubmit.
+        let (spec, checkpoint) = self.grid.exec(from)?.lock().remove_for_migration(condor)?;
+        self.submit_task_to(job_id, task, to, spec, checkpoint)?;
+        let at = self.grid.now();
+        {
+            let mut jobs = self.jobs.write();
+            if let Some(tracked) = jobs.get_mut(&job_id) {
+                tracked.plan = tracked.plan.reassigned(task, to)?;
+                tracked.tasks.get_mut(&task).expect("indexed").moves += 1;
+            }
+        }
+        self.moves.lock().push(MoveRecord {
+            task,
+            from,
+            to,
+            at,
+            reason,
+        });
+        self.notifications.lock().push(Notification::TaskMoved {
+            task,
+            from,
+            to,
+            at,
+            reason,
+        });
+        Ok(())
+    }
+
+    // ---- Backup & Recovery + monitoring loop (§4.2.4) ----
+
+    /// One steering round: track progress through the Job Monitoring
+    /// Service, detect failures, recover, optimize, and notify.
+    pub fn poll(&self) {
+        let job_ids: Vec<JobId> = self.jobs.read().keys().copied().collect();
+        for job_id in job_ids {
+            self.process_job(job_id);
+        }
+    }
+
+    fn process_job(&self, job_id: JobId) {
+        let submitted: Vec<(TaskId, SiteId, gae_types::CondorId)> = {
+            let jobs = self.jobs.read();
+            let Some(tracked) = jobs.get(&job_id) else {
+                return;
+            };
+            tracked
+                .plan
+                .job
+                .task_ids()
+                .into_iter()
+                .filter_map(|t| tracked.location(t).map(|(s, c)| (t, s, c)))
+                .collect()
+        };
+        for (task, site, _condor) in submitted {
+            // Backup & Recovery "continuously checks all the
+            // Execution Services ... for failure".
+            if !self.grid.is_alive(site) {
+                self.recover_task(job_id, task, site, "execution service failed");
+                continue;
+            }
+            let Ok(info) = self.jobmon.job_info(task) else {
+                continue;
+            };
+            match info.status {
+                TaskStatus::Completed => self.settle_completed(job_id, task, site, &info),
+                TaskStatus::Failed => self.recover_task(job_id, task, site, "task failed"),
+                TaskStatus::Killed => {
+                    if let Some(tracked) = self.jobs.write().get_mut(&job_id) {
+                        tracked.tasks.get_mut(&task).expect("indexed").phase = TaskPhase::Killed;
+                    }
+                }
+                TaskStatus::Running => self.maybe_optimize(job_id, task, site, &info),
+                _ => {}
+            }
+        }
+        self.maybe_notify_settled(job_id);
+    }
+
+    fn settle_completed(
+        &self,
+        job_id: JobId,
+        task: TaskId,
+        site: SiteId,
+        info: &crate::jobmon::JobMonitoringInfo,
+    ) {
+        {
+            let mut jobs = self.jobs.write();
+            let Some(tracked) = jobs.get_mut(&job_id) else {
+                return;
+            };
+            let t = tracked.tasks.get_mut(&task).expect("indexed");
+            if matches!(t.phase, TaskPhase::Done { .. }) {
+                return;
+            }
+            t.phase = TaskPhase::Done { site };
+        }
+        // Accounting: charge the owner for the CPU actually used.
+        let _ = self.quota.charge(info.owner, site, info.cpu_time);
+        self.collect_execution_state(task, site, info);
+        // Completion may unblock successors.
+        let _ = self.submit_ready(job_id);
+    }
+
+    /// §4.2.4: pulls the execution state (including the output files
+    /// produced so far) from the execution service and keeps it for
+    /// download.
+    fn collect_execution_state(
+        &self,
+        task: TaskId,
+        site: SiteId,
+        info: &crate::jobmon::JobMonitoringInfo,
+    ) {
+        self.execution_states.lock().insert(
+            task,
+            ExecutionState {
+                task,
+                site,
+                status: info.status,
+                cpu_time: info.cpu_time,
+                output_bytes: info.output_io,
+                collected_at: self.grid.now(),
+            },
+        );
+    }
+
+    /// The collected execution state of a settled task, if any.
+    pub fn execution_state(&self, task: TaskId) -> Option<ExecutionState> {
+        self.execution_states.lock().get(&task).cloned()
+    }
+
+    /// A Clarens web-interface handler serving `/state/<task-id>`
+    /// downloads of collected execution state — "this execution state
+    /// is made available for download on the web interface" (§4.2.4).
+    /// Register with [`gae_rpc::ServiceHost::register_web`].
+    pub fn web_handler(
+        self: &std::sync::Arc<Self>,
+    ) -> impl Fn(&str) -> Option<(String, Vec<u8>)> + Send + Sync + 'static {
+        let service = std::sync::Arc::downgrade(self);
+        move |path: &str| {
+            let service = service.upgrade()?;
+            let id = path.strip_prefix("/state/")?;
+            let task: TaskId = id.parse().ok()?;
+            let state = service.execution_state(task)?;
+            let body = format!(
+                "task: {}\nsite: {}\nstatus: {}\ncpu_time_s: {:.3}\n\
+                 output_bytes: {}\ncollected_at_s: {:.3}\n",
+                state.task,
+                state.site,
+                state.status,
+                state.cpu_time.as_secs_f64(),
+                state.output_bytes,
+                state.collected_at.as_secs_f64(),
+            );
+            Some(("text/plain; charset=utf-8".to_string(), body.into_bytes()))
+        }
+    }
+
+    /// Updates bookkeeping after an execution-layer migration the
+    /// steering service did not itself initiate (flocking): the task
+    /// is now at `to` under a new Condor id.
+    pub fn note_external_move(
+        &self,
+        task: TaskId,
+        from: SiteId,
+        to: SiteId,
+        condor: gae_types::CondorId,
+    ) {
+        let Ok(job_id) = self.job_of(task) else {
+            return;
+        };
+        let at = self.grid.now();
+        {
+            let mut jobs = self.jobs.write();
+            let Some(tracked) = jobs.get_mut(&job_id) else {
+                return;
+            };
+            if let Some(t) = tracked.tasks.get_mut(&task) {
+                t.phase = TaskPhase::Submitted { site: to, condor };
+                t.moves += 1;
+            }
+            if let Ok(replanned) = tracked.plan.reassigned(task, to) {
+                tracked.plan = replanned;
+            }
+        }
+        self.moves.lock().push(MoveRecord {
+            task,
+            from,
+            to,
+            at,
+            reason: MoveReason::Flocked,
+        });
+    }
+
+    /// Backup & Recovery: contact the scheduler for a new execution
+    /// service and resubmit; give up after the policy's attempt cap.
+    fn recover_task(&self, job_id: JobId, task: TaskId, failed_site: SiteId, reason: &str) {
+        let at = self.grid.now();
+        // "It then contacts the execution service to get all the
+        // local files that were produced by the failed job" (§4.2.4).
+        if let Ok(info) = self.jobmon.job_info(task) {
+            self.collect_execution_state(task, failed_site, &info);
+        }
+        self.notifications.lock().push(Notification::TaskFailed {
+            task,
+            site: failed_site,
+            at,
+            reason: reason.to_string(),
+        });
+        let (attempts_exceeded, plan) = {
+            let mut jobs = self.jobs.write();
+            let Some(tracked) = jobs.get_mut(&job_id) else {
+                return;
+            };
+            let t = tracked.tasks.get_mut(&task).expect("indexed");
+            t.recovery_attempts += 1;
+            (
+                t.recovery_attempts > self.policy.read().max_recovery_attempts,
+                tracked.plan.clone(),
+            )
+        };
+        if attempts_exceeded {
+            self.fail_task(job_id, task, "recovery attempts exhausted");
+            return;
+        }
+        let preference = self.policy.read().preference;
+        match self
+            .scheduler
+            .reschedule_task(&plan, task, &[failed_site], preference)
+        {
+            Ok(new_plan) => {
+                let new_site = new_plan.site_of(task).expect("rescheduled task");
+                let spec = new_plan.job.task(task).expect("known task").clone();
+                {
+                    let mut jobs = self.jobs.write();
+                    if let Some(tracked) = jobs.get_mut(&job_id) {
+                        tracked.plan = new_plan;
+                    }
+                }
+                // Failure lost the in-memory state; restart from zero
+                // (a checkpointable task's checkpoint died with the
+                // site in this model).
+                if self
+                    .submit_task_to(job_id, task, new_site, spec, None)
+                    .is_ok()
+                {
+                    self.moves.lock().push(MoveRecord {
+                        task,
+                        from: failed_site,
+                        to: new_site,
+                        at,
+                        reason: MoveReason::Recovery,
+                    });
+                    self.notifications.lock().push(Notification::TaskMoved {
+                        task,
+                        from: failed_site,
+                        to: new_site,
+                        at,
+                        reason: MoveReason::Recovery,
+                    });
+                } else {
+                    self.fail_task(job_id, task, "resubmission failed");
+                }
+            }
+            Err(e) => {
+                self.fail_task(job_id, task, &format!("no replacement site: {e}"));
+            }
+        }
+    }
+
+    fn fail_task(&self, job_id: JobId, task: TaskId, reason: &str) {
+        let at = self.grid.now();
+        {
+            let mut jobs = self.jobs.write();
+            if let Some(tracked) = jobs.get_mut(&job_id) {
+                tracked.tasks.get_mut(&task).expect("indexed").phase = TaskPhase::Failed;
+            }
+        }
+        self.notifications.lock().push(Notification::JobFailed {
+            job: job_id,
+            at,
+            reason: format!("{task}: {reason}"),
+        });
+    }
+
+    /// The Optimizer's autonomous decision (§7's Figure 7 behaviour):
+    /// if a running task accrues CPU time much slower than wall time
+    /// and a markedly better site exists, move it.
+    fn maybe_optimize(
+        &self,
+        job_id: JobId,
+        task: TaskId,
+        site: SiteId,
+        info: &crate::jobmon::JobMonitoringInfo,
+    ) {
+        let policy = *self.policy.read();
+        if !policy.auto_move {
+            return;
+        }
+        if info.elapsed < policy.min_observation {
+            return;
+        }
+        let elapsed = info.elapsed.as_secs_f64();
+        if elapsed <= 0.0 {
+            return;
+        }
+        let rate = info.cpu_time.as_secs_f64() / elapsed;
+        if rate >= policy.slow_rate_threshold {
+            return;
+        }
+        let spec = {
+            let jobs = self.jobs.read();
+            let Some(s) = jobs
+                .get(&job_id)
+                .and_then(|j| j.plan.job.task(task).cloned())
+            else {
+                return;
+            };
+            s
+        };
+        let Ok(candidate) = self
+            .scheduler
+            .best_site(&spec, |_| true, &[site], policy.preference)
+        else {
+            return;
+        };
+        // Only move if the candidate's effective rate beats the
+        // observed one with margin (moving costs a restart unless the
+        // task checkpoints).
+        let candidate_rate = 1.0 / (1.0 + candidate.estimate.load.max(0.0));
+        if candidate_rate > rate * 1.5 {
+            let _ = self.move_task(job_id, task, Some(candidate.site), MoveReason::SlowProgress);
+        }
+    }
+
+    fn maybe_notify_settled(&self, job_id: JobId) {
+        let mut jobs = self.jobs.write();
+        let Some(tracked) = jobs.get_mut(&job_id) else {
+            return;
+        };
+        if tracked.completion_notified || !tracked.is_settled() {
+            return;
+        }
+        tracked.completion_notified = true;
+        let at = self.grid.now();
+        if tracked.is_completed() {
+            // "For completed jobs, the Backup and Recovery module
+            // notifies the client about the completion of the job and
+            // gets the execution state from the execution service."
+            self.notifications
+                .lock()
+                .push(Notification::JobCompleted { job: job_id, at });
+        } else if tracked.is_failed() {
+            self.notifications.lock().push(Notification::JobFailed {
+                job: job_id,
+                at,
+                reason: "one or more tasks failed or were killed".into(),
+            });
+        }
+    }
+
+    // ---- introspection ----
+
+    /// Steering-side snapshot of a job.
+    pub fn tracked_job(&self, job: JobId) -> Option<TrackedJob> {
+        self.jobs.read().get(&job).cloned()
+    }
+
+    /// Drains pending client notifications.
+    pub fn drain_notifications(&self) -> Vec<Notification> {
+        std::mem::take(&mut self.notifications.lock())
+    }
+
+    /// The move log (Figure 7 diagnostics).
+    pub fn move_log(&self) -> Vec<MoveRecord> {
+        self.moves.lock().clone()
+    }
+
+    /// Convenience for clients: (cpu time, elapsed, progress) of a
+    /// task, via the Job Monitoring Service — the numbers the Figure 7
+    /// chart plots.
+    pub fn job_progress(&self, task: TaskId) -> GaeResult<(SimDuration, SimDuration, f64)> {
+        let info = self.jobmon.job_info(task)?;
+        Ok((info.cpu_time, info.elapsed, info.progress))
+    }
+
+    /// The optimizer's preference currently in force.
+    pub fn preference(&self) -> OptimizationPreference {
+        self.policy.read().preference
+    }
+}

@@ -1,0 +1,256 @@
+//! The Subscriber's bookkeeping (§4.2.1).
+//!
+//! "A scheduler sends a 'concrete job plan' to the Steering Service.
+//! The Subscriber analyzes the received job plan to get the list of
+//! Execution Services to be used for the execution of the job."
+
+use gae_types::{ConcretePlan, CondorId, GaeResult, SiteId, TaskId, UserId};
+use std::collections::HashMap;
+
+/// Where one task currently is in its steering lifecycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TaskPhase {
+    /// Prerequisites not yet complete; not submitted anywhere.
+    WaitingPrereqs,
+    /// Submitted to a site's execution service.
+    Submitted {
+        /// Hosting site.
+        site: SiteId,
+        /// Site-local id.
+        condor: CondorId,
+    },
+    /// Completed successfully at `site`.
+    Done {
+        /// Where it completed.
+        site: SiteId,
+    },
+    /// Permanently failed (recovery exhausted).
+    Failed,
+    /// Killed by a steering command.
+    Killed,
+}
+
+impl TaskPhase {
+    /// True once the task needs no further steering.
+    pub fn is_settled(self) -> bool {
+        matches!(
+            self,
+            TaskPhase::Done { .. } | TaskPhase::Failed | TaskPhase::Killed
+        )
+    }
+}
+
+/// Steering-side record of one task.
+#[derive(Clone, Debug)]
+pub struct TrackedTask {
+    /// The task.
+    pub task: TaskId,
+    /// Current phase.
+    pub phase: TaskPhase,
+    /// Recovery resubmissions so far.
+    pub recovery_attempts: u32,
+    /// Autonomous/manual moves so far.
+    pub moves: u32,
+}
+
+/// Steering-side record of one job (the subscribed plan plus task
+/// phases).
+#[derive(Clone, Debug)]
+pub struct TrackedJob {
+    /// The concrete plan, kept current across reschedules.
+    pub plan: ConcretePlan,
+    /// Per-task steering state.
+    pub tasks: HashMap<TaskId, TrackedTask>,
+    /// Whether the client was already told the job finished.
+    pub completion_notified: bool,
+}
+
+impl TrackedJob {
+    /// Subscribes a plan: every task starts unsubmitted.
+    pub fn subscribe(plan: ConcretePlan) -> GaeResult<TrackedJob> {
+        plan.job.validate()?;
+        let tasks = plan
+            .job
+            .task_ids()
+            .into_iter()
+            .map(|t| {
+                (
+                    t,
+                    TrackedTask {
+                        task: t,
+                        phase: TaskPhase::WaitingPrereqs,
+                        recovery_attempts: 0,
+                        moves: 0,
+                    },
+                )
+            })
+            .collect();
+        Ok(TrackedJob {
+            plan,
+            tasks,
+            completion_notified: false,
+        })
+    }
+
+    /// The job's owner (for the Session Manager).
+    pub fn owner(&self) -> UserId {
+        self.plan.job.owner
+    }
+
+    /// The execution services the plan uses — what the paper's
+    /// Subscriber extracts.
+    pub fn sites(&self) -> Vec<SiteId> {
+        self.plan.sites()
+    }
+
+    /// Tasks whose prerequisites are all done and which are still
+    /// waiting — ready for submission.
+    pub fn ready_tasks(&self) -> Vec<TaskId> {
+        self.plan
+            .job
+            .task_ids()
+            .into_iter()
+            .filter(|t| {
+                matches!(self.tasks[t].phase, TaskPhase::WaitingPrereqs)
+                    && self
+                        .plan
+                        .job
+                        .prerequisites(*t)
+                        .iter()
+                        .all(|p| matches!(self.tasks[p].phase, TaskPhase::Done { .. }))
+            })
+            .collect()
+    }
+
+    /// True once every task reached a settled phase.
+    pub fn is_settled(&self) -> bool {
+        self.tasks.values().all(|t| t.phase.is_settled())
+    }
+
+    /// True if every task completed successfully.
+    pub fn is_completed(&self) -> bool {
+        self.tasks
+            .values()
+            .all(|t| matches!(t.phase, TaskPhase::Done { .. }))
+    }
+
+    /// True if any task permanently failed or was killed.
+    pub fn is_failed(&self) -> bool {
+        self.tasks
+            .values()
+            .any(|t| matches!(t.phase, TaskPhase::Failed | TaskPhase::Killed))
+    }
+
+    /// Where a task currently runs, if submitted.
+    pub fn location(&self, task: TaskId) -> Option<(SiteId, CondorId)> {
+        match self.tasks.get(&task)?.phase {
+            TaskPhase::Submitted { site, condor } => Some((site, condor)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gae_types::{JobId, JobSpec, PlanId, TaskAssignment, TaskSpec};
+
+    fn plan() -> ConcretePlan {
+        let mut job = JobSpec::new(JobId::new(1), "j", UserId::new(9));
+        for i in 1..=3 {
+            job.add_task(TaskSpec::new(TaskId::new(i), format!("t{i}"), "x"));
+        }
+        job.add_dependency(TaskId::new(1), TaskId::new(3));
+        job.add_dependency(TaskId::new(2), TaskId::new(3));
+        ConcretePlan::new(
+            PlanId::new(1),
+            job,
+            vec![
+                TaskAssignment {
+                    task: TaskId::new(1),
+                    site: SiteId::new(1),
+                },
+                TaskAssignment {
+                    task: TaskId::new(2),
+                    site: SiteId::new(2),
+                },
+                TaskAssignment {
+                    task: TaskId::new(3),
+                    site: SiteId::new(1),
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn subscribe_extracts_sites_and_owner() {
+        let tracked = TrackedJob::subscribe(plan()).unwrap();
+        assert_eq!(tracked.sites(), vec![SiteId::new(1), SiteId::new(2)]);
+        assert_eq!(tracked.owner(), UserId::new(9));
+        assert!(!tracked.is_settled());
+        assert!(!tracked.is_completed());
+    }
+
+    #[test]
+    fn ready_tasks_respect_dag() {
+        let mut tracked = TrackedJob::subscribe(plan()).unwrap();
+        assert_eq!(tracked.ready_tasks(), vec![TaskId::new(1), TaskId::new(2)]);
+        tracked.tasks.get_mut(&TaskId::new(1)).unwrap().phase = TaskPhase::Done {
+            site: SiteId::new(1),
+        };
+        // Task 3 still blocked on task 2.
+        assert_eq!(tracked.ready_tasks(), vec![TaskId::new(2)]);
+        tracked.tasks.get_mut(&TaskId::new(2)).unwrap().phase = TaskPhase::Done {
+            site: SiteId::new(2),
+        };
+        assert_eq!(tracked.ready_tasks(), vec![TaskId::new(3)]);
+    }
+
+    #[test]
+    fn completion_and_failure_predicates() {
+        let mut tracked = TrackedJob::subscribe(plan()).unwrap();
+        for t in tracked.plan.job.task_ids() {
+            tracked.tasks.get_mut(&t).unwrap().phase = TaskPhase::Done {
+                site: SiteId::new(1),
+            };
+        }
+        assert!(tracked.is_settled());
+        assert!(tracked.is_completed());
+        assert!(!tracked.is_failed());
+        tracked.tasks.get_mut(&TaskId::new(2)).unwrap().phase = TaskPhase::Failed;
+        assert!(tracked.is_failed());
+        assert!(!tracked.is_completed());
+    }
+
+    #[test]
+    fn location_only_for_submitted() {
+        let mut tracked = TrackedJob::subscribe(plan()).unwrap();
+        assert!(tracked.location(TaskId::new(1)).is_none());
+        tracked.tasks.get_mut(&TaskId::new(1)).unwrap().phase = TaskPhase::Submitted {
+            site: SiteId::new(1),
+            condor: CondorId::new(5),
+        };
+        assert_eq!(
+            tracked.location(TaskId::new(1)),
+            Some((SiteId::new(1), CondorId::new(5)))
+        );
+        assert!(tracked.location(TaskId::new(99)).is_none());
+    }
+
+    #[test]
+    fn phase_settlement() {
+        assert!(TaskPhase::Done {
+            site: SiteId::new(1)
+        }
+        .is_settled());
+        assert!(TaskPhase::Failed.is_settled());
+        assert!(TaskPhase::Killed.is_settled());
+        assert!(!TaskPhase::WaitingPrereqs.is_settled());
+        assert!(!TaskPhase::Submitted {
+            site: SiteId::new(1),
+            condor: CondorId::new(1)
+        }
+        .is_settled());
+    }
+}

@@ -1,0 +1,307 @@
+//! The typed monitoring façade the other GAE services consume.
+
+use crate::store::{MetricKey, Sample, TimeSeriesStore};
+use gae_types::{JobId, SimTime, SiteId, TaskId, TaskStatus};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Handle for cancelling a subscription.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SubscriptionId(u64);
+
+/// A job state-change event, as published by the Job Monitoring
+/// Service's DBManager "whenever the state of a job changes" (§5).
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobEvent {
+    /// Virtual time of the change.
+    pub at: SimTime,
+    /// The job.
+    pub job: JobId,
+    /// The task whose state changed.
+    pub task: TaskId,
+    /// Site hosting the task at the time of the change.
+    pub site: SiteId,
+    /// The new state.
+    pub status: TaskStatus,
+}
+
+type EventCallback = Box<dyn Fn(&JobEvent) + Send + Sync>;
+
+/// The MonALISA-substitute repository.
+///
+/// Thread-safe: the RPC layer publishes from worker threads while the
+/// scheduler and optimizer read concurrently.
+pub struct MonAlisaRepository {
+    metrics: RwLock<TimeSeriesStore>,
+    job_events: RwLock<Vec<JobEvent>>,
+    subscribers: RwLock<HashMap<SubscriptionId, EventCallback>>,
+    next_subscription: std::sync::atomic::AtomicU64,
+    /// Cap on the retained job-event log.
+    event_capacity: usize,
+}
+
+impl MonAlisaRepository {
+    /// Creates a repository retaining `metric_capacity` samples per
+    /// metric and `event_capacity` job events.
+    pub fn new(metric_capacity: usize, event_capacity: usize) -> Arc<Self> {
+        Arc::new(MonAlisaRepository {
+            metrics: RwLock::new(TimeSeriesStore::new(metric_capacity)),
+            job_events: RwLock::new(Vec::new()),
+            subscribers: RwLock::new(HashMap::new()),
+            next_subscription: std::sync::atomic::AtomicU64::new(1),
+            event_capacity: event_capacity.max(1),
+        })
+    }
+
+    /// Defaults sized for the reproduction experiments.
+    pub fn with_defaults() -> Arc<Self> {
+        Self::new(4096, 65_536)
+    }
+
+    // ---- metrics ----
+
+    /// Publishes an arbitrary metric sample.
+    pub fn publish_metric(&self, key: MetricKey, at: SimTime, value: f64) {
+        self.metrics.write().publish(key, Sample { at, value });
+    }
+
+    /// Publishes a site's farm-wide CPU load (what the scheduler reads
+    /// in §6.1 step d).
+    pub fn publish_site_load(&self, site: SiteId, at: SimTime, load: f64) {
+        self.publish_metric(MetricKey::site_wide(site, "cpu_load"), at, load);
+    }
+
+    /// Latest farm-wide CPU load of a site.
+    pub fn site_load(&self, site: SiteId) -> Option<f64> {
+        self.metrics
+            .read()
+            .latest(&MetricKey::site_wide(site, "cpu_load"))
+            .map(|s| s.value)
+    }
+
+    /// Publishes a site's queue length.
+    pub fn publish_queue_length(&self, site: SiteId, at: SimTime, length: f64) {
+        self.publish_metric(MetricKey::site_wide(site, "queue_length"), at, length);
+    }
+
+    /// Latest queue length of a site.
+    pub fn queue_length(&self, site: SiteId) -> Option<f64> {
+        self.metrics
+            .read()
+            .latest(&MetricKey::site_wide(site, "queue_length"))
+            .map(|s| s.value)
+    }
+
+    /// Latest sample of an arbitrary metric.
+    pub fn latest(&self, key: &MetricKey) -> Option<Sample> {
+        self.metrics.read().latest(key)
+    }
+
+    /// Samples of a metric in `[from, to]`.
+    pub fn range(&self, key: &MetricKey, from: SimTime, to: SimTime) -> Vec<Sample> {
+        self.metrics.read().range(key, from, to)
+    }
+
+    /// Mean of a metric over `[from, to]`.
+    pub fn mean(&self, key: &MetricKey, from: SimTime, to: SimTime) -> Option<f64> {
+        self.metrics.read().mean(key, from, to)
+    }
+
+    // ---- job events ----
+
+    /// Publishes a job state change and notifies subscribers.
+    pub fn publish_job_event(&self, event: JobEvent) {
+        {
+            let mut log = self.job_events.write();
+            if log.len() == self.event_capacity {
+                log.remove(0);
+            }
+            log.push(event.clone());
+        }
+        let subs = self.subscribers.read();
+        for cb in subs.values() {
+            cb(&event);
+        }
+    }
+
+    /// All retained events for one job, in publication order.
+    pub fn job_history(&self, job: JobId) -> Vec<JobEvent> {
+        self.job_events
+            .read()
+            .iter()
+            .filter(|e| e.job == job)
+            .cloned()
+            .collect()
+    }
+
+    /// The most recent event for a task, if retained.
+    pub fn task_latest(&self, task: TaskId) -> Option<JobEvent> {
+        self.job_events
+            .read()
+            .iter()
+            .rev()
+            .find(|e| e.task == task)
+            .cloned()
+    }
+
+    /// Number of retained job events.
+    pub fn event_count(&self) -> usize {
+        self.job_events.read().len()
+    }
+
+    // ---- subscriptions ----
+
+    /// Registers a callback invoked on every future job event.
+    pub fn subscribe<F>(&self, callback: F) -> SubscriptionId
+    where
+        F: Fn(&JobEvent) + Send + Sync + 'static,
+    {
+        let id = SubscriptionId(
+            self.next_subscription
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        );
+        self.subscribers.write().insert(id, Box::new(callback));
+        id
+    }
+
+    /// Cancels a subscription (idempotent).
+    pub fn unsubscribe(&self, id: SubscriptionId) -> bool {
+        self.subscribers.write().remove(&id).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn event(at: u64, job: u64, task: u64, status: TaskStatus) -> JobEvent {
+        JobEvent {
+            at: SimTime::from_secs(at),
+            job: JobId::new(job),
+            task: TaskId::new(task),
+            site: SiteId::new(1),
+            status,
+        }
+    }
+
+    #[test]
+    fn site_load_roundtrip() {
+        let repo = MonAlisaRepository::with_defaults();
+        assert!(repo.site_load(SiteId::new(1)).is_none());
+        repo.publish_site_load(SiteId::new(1), SimTime::from_secs(1), 2.5);
+        repo.publish_site_load(SiteId::new(1), SimTime::from_secs(2), 3.5);
+        assert_eq!(repo.site_load(SiteId::new(1)), Some(3.5));
+        assert!(repo.site_load(SiteId::new(2)).is_none());
+    }
+
+    #[test]
+    fn queue_length_roundtrip() {
+        let repo = MonAlisaRepository::with_defaults();
+        repo.publish_queue_length(SiteId::new(3), SimTime::from_secs(1), 12.0);
+        assert_eq!(repo.queue_length(SiteId::new(3)), Some(12.0));
+    }
+
+    #[test]
+    fn job_history_filters_by_job() {
+        let repo = MonAlisaRepository::with_defaults();
+        repo.publish_job_event(event(1, 1, 1, TaskStatus::Queued));
+        repo.publish_job_event(event(2, 2, 2, TaskStatus::Queued));
+        repo.publish_job_event(event(3, 1, 1, TaskStatus::Running));
+        let h = repo.job_history(JobId::new(1));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[1].status, TaskStatus::Running);
+        assert_eq!(repo.event_count(), 3);
+    }
+
+    #[test]
+    fn task_latest_returns_newest() {
+        let repo = MonAlisaRepository::with_defaults();
+        repo.publish_job_event(event(1, 1, 7, TaskStatus::Queued));
+        repo.publish_job_event(event(2, 1, 7, TaskStatus::Running));
+        assert_eq!(
+            repo.task_latest(TaskId::new(7)).unwrap().status,
+            TaskStatus::Running
+        );
+        assert!(repo.task_latest(TaskId::new(8)).is_none());
+    }
+
+    #[test]
+    fn event_log_bounded() {
+        let repo = MonAlisaRepository::new(8, 3);
+        for i in 0..10 {
+            repo.publish_job_event(event(i, 1, 1, TaskStatus::Running));
+        }
+        assert_eq!(repo.event_count(), 3);
+        let h = repo.job_history(JobId::new(1));
+        assert_eq!(h[0].at, SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn subscriptions_fire_and_cancel() {
+        let repo = MonAlisaRepository::with_defaults();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h2 = hits.clone();
+        let sub = repo.subscribe(move |_| {
+            h2.fetch_add(1, Ordering::Relaxed);
+        });
+        repo.publish_job_event(event(1, 1, 1, TaskStatus::Queued));
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        assert!(repo.unsubscribe(sub));
+        assert!(!repo.unsubscribe(sub));
+        repo.publish_job_event(event(2, 1, 1, TaskStatus::Running));
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn subscriber_sees_event_payload() {
+        let repo = MonAlisaRepository::with_defaults();
+        let seen = Arc::new(RwLock::new(None));
+        let s2 = seen.clone();
+        repo.subscribe(move |e| {
+            *s2.write() = Some(e.clone());
+        });
+        let e = event(5, 9, 4, TaskStatus::Completed);
+        repo.publish_job_event(e.clone());
+        assert_eq!(seen.read().as_ref(), Some(&e));
+    }
+
+    #[test]
+    fn concurrent_publish_and_read() {
+        let repo = MonAlisaRepository::with_defaults();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let repo = repo.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250 {
+                    repo.publish_site_load(SiteId::new(t), SimTime::from_secs(i), i as f64);
+                    let _ = repo.site_load(SiteId::new(t));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..4 {
+            assert_eq!(repo.site_load(SiteId::new(t)), Some(249.0));
+        }
+    }
+
+    #[test]
+    fn metric_range_and_mean_via_repo() {
+        let repo = MonAlisaRepository::with_defaults();
+        let k = MetricKey::new(SiteId::new(1), "node-0", "io_read");
+        repo.publish_metric(k.clone(), SimTime::from_secs(1), 10.0);
+        repo.publish_metric(k.clone(), SimTime::from_secs(2), 30.0);
+        assert_eq!(
+            repo.mean(&k, SimTime::ZERO, SimTime::from_secs(10)),
+            Some(20.0)
+        );
+        assert_eq!(
+            repo.range(&k, SimTime::ZERO, SimTime::from_secs(10)).len(),
+            2
+        );
+        assert_eq!(repo.latest(&k).unwrap().value, 30.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Bounded time-series storage.
+//!
+//! MonALISA organises measurements as Farm/Cluster/Node/Parameter; we
+//! keep the same addressing collapsed to `(site, entity, param)`.
+//! Each series is a fixed-capacity ring buffer — monitoring data ages
+//! out, it is never an unbounded log.
+
+use gae_types::{SimTime, SiteId};
+use std::collections::{HashMap, VecDeque};
+
+/// Address of one monitored parameter.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MetricKey {
+    /// The site the measurement describes.
+    pub site: SiteId,
+    /// Entity within the site ("node-3", "job-17", "farm").
+    pub entity: String,
+    /// Parameter name ("cpu_load", "queue_length", "job_state").
+    pub param: String,
+}
+
+impl MetricKey {
+    /// Builds a key.
+    pub fn new(site: SiteId, entity: impl Into<String>, param: impl Into<String>) -> Self {
+        MetricKey {
+            site,
+            entity: entity.into(),
+            param: param.into(),
+        }
+    }
+
+    /// The site-wide key for a parameter (entity = `"farm"`).
+    pub fn site_wide(site: SiteId, param: impl Into<String>) -> Self {
+        Self::new(site, "farm", param)
+    }
+}
+
+/// One measurement.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Sample {
+    /// When the measurement was taken (virtual time).
+    pub at: SimTime,
+    /// The measured value.
+    pub value: f64,
+}
+
+/// A map of metric keys to bounded sample rings.
+pub struct TimeSeriesStore {
+    series: HashMap<MetricKey, VecDeque<Sample>>,
+    capacity: usize,
+    total_published: u64,
+}
+
+impl TimeSeriesStore {
+    /// Creates a store keeping at most `capacity` samples per metric.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "store capacity must be positive");
+        TimeSeriesStore {
+            series: HashMap::new(),
+            capacity,
+            total_published: 0,
+        }
+    }
+
+    /// Records a sample. Out-of-order samples (older than the newest)
+    /// are accepted but flagged by the return value (`false`), since
+    /// grid monitoring streams are usually but not always ordered.
+    pub fn publish(&mut self, key: MetricKey, sample: Sample) -> bool {
+        self.total_published += 1;
+        let ring = self.series.entry(key).or_default();
+        let in_order = ring.back().map(|last| sample.at >= last.at).unwrap_or(true);
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        if in_order {
+            ring.push_back(sample);
+        } else {
+            // Insert maintaining time order.
+            let pos = ring.partition_point(|s| s.at <= sample.at);
+            ring.insert(pos, sample);
+        }
+        in_order
+    }
+
+    /// Latest sample of a metric.
+    pub fn latest(&self, key: &MetricKey) -> Option<Sample> {
+        self.series.get(key).and_then(|r| r.back().copied())
+    }
+
+    /// All samples in `[from, to]`, in time order.
+    pub fn range(&self, key: &MetricKey, from: SimTime, to: SimTime) -> Vec<Sample> {
+        match self.series.get(key) {
+            Some(ring) => ring
+                .iter()
+                .filter(|s| s.at >= from && s.at <= to)
+                .copied()
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Mean value over `[from, to]`, `None` if the window is empty.
+    pub fn mean(&self, key: &MetricKey, from: SimTime, to: SimTime) -> Option<f64> {
+        let samples = self.range(key, from, to);
+        if samples.is_empty() {
+            None
+        } else {
+            Some(samples.iter().map(|s| s.value).sum::<f64>() / samples.len() as f64)
+        }
+    }
+
+    /// Maximum value over `[from, to]`.
+    pub fn max(&self, key: &MetricKey, from: SimTime, to: SimTime) -> Option<f64> {
+        self.range(key, from, to)
+            .iter()
+            .map(|s| s.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Minimum value over `[from, to]`.
+    pub fn min(&self, key: &MetricKey, from: SimTime, to: SimTime) -> Option<f64> {
+        self.range(key, from, to)
+            .iter()
+            .map(|s| s.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+    }
+
+    /// The `q`-quantile (0.0–1.0, nearest-rank) of values in
+    /// `[from, to]`.
+    pub fn quantile(&self, key: &MetricKey, from: SimTime, to: SimTime, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let mut values: Vec<f64> = self.range(key, from, to).iter().map(|s| s.value).collect();
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).expect("metric values are finite"));
+        let rank = ((values.len() as f64 - 1.0) * q).round() as usize;
+        Some(values[rank])
+    }
+
+    /// Number of samples currently retained for a metric.
+    pub fn len(&self, key: &MetricKey) -> usize {
+        self.series.get(key).map(|r| r.len()).unwrap_or(0)
+    }
+
+    /// True if nothing has been retained for `key`.
+    pub fn is_empty(&self, key: &MetricKey) -> bool {
+        self.len(key) == 0
+    }
+
+    /// All keys with at least one retained sample.
+    pub fn keys(&self) -> Vec<&MetricKey> {
+        self.series.keys().collect()
+    }
+
+    /// Lifetime count of published samples (including aged-out ones).
+    pub fn total_published(&self) -> u64 {
+        self.total_published
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> MetricKey {
+        MetricKey::site_wide(SiteId::new(1), "cpu_load")
+    }
+
+    fn s(at: u64, value: f64) -> Sample {
+        Sample {
+            at: SimTime::from_secs(at),
+            value,
+        }
+    }
+
+    #[test]
+    fn publish_and_latest() {
+        let mut store = TimeSeriesStore::new(16);
+        assert!(store.latest(&key()).is_none());
+        assert!(store.publish(key(), s(1, 0.5)));
+        assert!(store.publish(key(), s(2, 0.7)));
+        assert_eq!(store.latest(&key()).unwrap(), s(2, 0.7));
+        assert_eq!(store.len(&key()), 2);
+        assert_eq!(store.total_published(), 2);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut store = TimeSeriesStore::new(3);
+        for i in 0..10 {
+            store.publish(key(), s(i, i as f64));
+        }
+        assert_eq!(store.len(&key()), 3);
+        let r = store.range(&key(), SimTime::ZERO, SimTime::from_secs(100));
+        assert_eq!(r, vec![s(7, 7.0), s(8, 8.0), s(9, 9.0)]);
+        assert_eq!(store.total_published(), 10);
+    }
+
+    #[test]
+    fn range_is_inclusive() {
+        let mut store = TimeSeriesStore::new(16);
+        for i in 1..=5 {
+            store.publish(key(), s(i, i as f64));
+        }
+        let r = store.range(&key(), SimTime::from_secs(2), SimTime::from_secs(4));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].at, SimTime::from_secs(2));
+        assert_eq!(r[2].at, SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn mean_over_window() {
+        let mut store = TimeSeriesStore::new(16);
+        store.publish(key(), s(1, 1.0));
+        store.publish(key(), s(2, 3.0));
+        assert_eq!(
+            store.mean(&key(), SimTime::ZERO, SimTime::from_secs(10)),
+            Some(2.0)
+        );
+        assert_eq!(
+            store.mean(&key(), SimTime::from_secs(5), SimTime::from_secs(10)),
+            None
+        );
+    }
+
+    #[test]
+    fn aggregations_over_windows() {
+        let mut store = TimeSeriesStore::new(32);
+        for (t, v) in [(1, 4.0), (2, 1.0), (3, 9.0), (4, 2.0), (5, 7.0)] {
+            store.publish(key(), s(t, v));
+        }
+        let all = (SimTime::ZERO, SimTime::from_secs(100));
+        assert_eq!(store.max(&key(), all.0, all.1), Some(9.0));
+        assert_eq!(store.min(&key(), all.0, all.1), Some(1.0));
+        assert_eq!(store.quantile(&key(), all.0, all.1, 0.5), Some(4.0));
+        assert_eq!(store.quantile(&key(), all.0, all.1, 0.0), Some(1.0));
+        assert_eq!(store.quantile(&key(), all.0, all.1, 1.0), Some(9.0));
+        // Narrow window.
+        let w = (SimTime::from_secs(2), SimTime::from_secs(4));
+        assert_eq!(store.max(&key(), w.0, w.1), Some(9.0));
+        assert_eq!(store.min(&key(), w.0, w.1), Some(1.0));
+        // Empty window.
+        let e = (SimTime::from_secs(50), SimTime::from_secs(60));
+        assert_eq!(store.max(&key(), e.0, e.1), None);
+        assert_eq!(store.quantile(&key(), e.0, e.1, 0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_range_checked() {
+        let store = TimeSeriesStore::new(4);
+        let _ = store.quantile(&key(), SimTime::ZERO, SimTime::ZERO, 1.5);
+    }
+
+    #[test]
+    fn out_of_order_flagged_but_ordered() {
+        let mut store = TimeSeriesStore::new(16);
+        assert!(store.publish(key(), s(5, 5.0)));
+        assert!(!store.publish(key(), s(3, 3.0)));
+        let r = store.range(&key(), SimTime::ZERO, SimTime::from_secs(10));
+        assert_eq!(r, vec![s(3, 3.0), s(5, 5.0)]);
+        // Latest is still the newest by time.
+        assert_eq!(store.latest(&key()).unwrap(), s(5, 5.0));
+    }
+
+    #[test]
+    fn distinct_keys_are_independent() {
+        let mut store = TimeSeriesStore::new(4);
+        let k2 = MetricKey::new(SiteId::new(2), "node-1", "cpu_load");
+        store.publish(key(), s(1, 1.0));
+        store.publish(k2.clone(), s(1, 9.0));
+        assert_eq!(store.latest(&key()).unwrap().value, 1.0);
+        assert_eq!(store.latest(&k2).unwrap().value, 9.0);
+        assert_eq!(store.keys().len(), 2);
+        assert!(!store.is_empty(&k2));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        TimeSeriesStore::new(0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Peer-to-peer service lookup.
+//!
+//! "Clarens enables users and services to dynamically discover other
+//! services and resources within the GAE through a peer-to-peer based
+//! lookup service" (§3). Each host runs a [`LookupService`]; services
+//! register `(service name, endpoint)` pairs locally, and lookups
+//! that miss locally are forwarded one hop to the host's peers, which
+//! is how the original Clarens lookup federated registries without a
+//! central index.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
+
+/// Where a service instance can be reached.
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub struct Endpoint {
+    /// Transport URL (`http://127.0.0.1:4122/RPC2`, `inproc://siteA`).
+    pub url: String,
+    /// The site the instance serves (free-form label, usually the
+    /// site name).
+    pub site: String,
+}
+
+impl Endpoint {
+    /// Builds an endpoint.
+    pub fn new(url: impl Into<String>, site: impl Into<String>) -> Self {
+        Endpoint {
+            url: url.into(),
+            site: site.into(),
+        }
+    }
+}
+
+/// One node of the federated lookup network.
+pub struct LookupService {
+    /// This node's name (diagnostics).
+    name: String,
+    local: RwLock<HashMap<String, Vec<Endpoint>>>,
+    peers: RwLock<Vec<Weak<LookupService>>>,
+}
+
+impl LookupService {
+    /// Creates a lookup node.
+    pub fn new(name: impl Into<String>) -> Arc<Self> {
+        Arc::new(LookupService {
+            name: name.into(),
+            local: RwLock::new(HashMap::new()),
+            peers: RwLock::new(Vec::new()),
+        })
+    }
+
+    /// This node's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registers a service instance on this node.
+    pub fn register(&self, service: &str, endpoint: Endpoint) {
+        let mut local = self.local.write();
+        let entries = local.entry(service.to_string()).or_default();
+        if !entries.contains(&endpoint) {
+            entries.push(endpoint);
+        }
+    }
+
+    /// Removes a service instance (e.g. after a failure is detected).
+    pub fn deregister(&self, service: &str, url: &str) -> bool {
+        let mut local = self.local.write();
+        if let Some(entries) = local.get_mut(service) {
+            let before = entries.len();
+            entries.retain(|e| e.url != url);
+            let removed = entries.len() != before;
+            if entries.is_empty() {
+                local.remove(service);
+            }
+            return removed;
+        }
+        false
+    }
+
+    /// Connects two lookup nodes as peers (bidirectional). Weak links:
+    /// a dropped peer disappears from the mesh automatically.
+    pub fn add_peer(self: &Arc<Self>, other: &Arc<LookupService>) {
+        self.peers.write().push(Arc::downgrade(other));
+        other.peers.write().push(Arc::downgrade(self));
+    }
+
+    /// Instances registered locally (no peer traffic).
+    pub fn lookup_local(&self, service: &str) -> Vec<Endpoint> {
+        self.local.read().get(service).cloned().unwrap_or_default()
+    }
+
+    /// Federated lookup: local results plus one-hop peer results,
+    /// deduplicated, local first.
+    pub fn lookup(&self, service: &str) -> Vec<Endpoint> {
+        let mut found = self.lookup_local(service);
+        let peers = self.peers.read().clone();
+        for peer in peers {
+            if let Some(peer) = peer.upgrade() {
+                for ep in peer.lookup_local(service) {
+                    if !found.contains(&ep) {
+                        found.push(ep);
+                    }
+                }
+            }
+        }
+        found
+    }
+
+    /// All service names visible from this node (local + one hop).
+    pub fn service_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.local.read().keys().cloned().collect();
+        for peer in self.peers.read().iter() {
+            if let Some(peer) = peer.upgrade() {
+                for name in peer.local.read().keys() {
+                    if !names.contains(name) {
+                        names.push(name.clone());
+                    }
+                }
+            }
+        }
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_register_and_lookup() {
+        let node = LookupService::new("caltech");
+        node.register("jobmon", Endpoint::new("http://a/RPC2", "siteA"));
+        node.register("jobmon", Endpoint::new("http://b/RPC2", "siteB"));
+        // Duplicate registration ignored.
+        node.register("jobmon", Endpoint::new("http://a/RPC2", "siteA"));
+        assert_eq!(node.lookup("jobmon").len(), 2);
+        assert!(node.lookup("steering").is_empty());
+    }
+
+    #[test]
+    fn deregister() {
+        let node = LookupService::new("n");
+        node.register("est", Endpoint::new("u1", "s"));
+        assert!(node.deregister("est", "u1"));
+        assert!(!node.deregister("est", "u1"));
+        assert!(node.lookup("est").is_empty());
+        assert!(!node.deregister("ghost", "u1"));
+    }
+
+    #[test]
+    fn peer_lookup_one_hop() {
+        let a = LookupService::new("a");
+        let b = LookupService::new("b");
+        let c = LookupService::new("c");
+        a.add_peer(&b);
+        b.add_peer(&c);
+        c.register("steering", Endpoint::new("http://c/RPC2", "siteC"));
+        // b sees c's registration (one hop)...
+        assert_eq!(b.lookup("steering").len(), 1);
+        // ...but a does not (two hops; Clarens-style bounded flood).
+        assert!(a.lookup("steering").is_empty());
+    }
+
+    #[test]
+    fn local_results_first() {
+        let a = LookupService::new("a");
+        let b = LookupService::new("b");
+        a.add_peer(&b);
+        b.register("est", Endpoint::new("http://remote/RPC2", "siteB"));
+        a.register("est", Endpoint::new("http://local/RPC2", "siteA"));
+        let found = a.lookup("est");
+        assert_eq!(found[0].url, "http://local/RPC2");
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn dropped_peer_disappears() {
+        let a = LookupService::new("a");
+        {
+            let b = LookupService::new("b");
+            a.add_peer(&b);
+            b.register("x", Endpoint::new("u", "s"));
+            assert_eq!(a.lookup("x").len(), 1);
+        }
+        // b is gone; weak link upgrades to None.
+        assert!(a.lookup("x").is_empty());
+    }
+
+    #[test]
+    fn service_names_federated() {
+        let a = LookupService::new("a");
+        let b = LookupService::new("b");
+        a.add_peer(&b);
+        a.register("jobmon", Endpoint::new("u1", "s"));
+        b.register("estimator", Endpoint::new("u2", "s"));
+        assert_eq!(
+            a.service_names(),
+            vec!["estimator".to_string(), "jobmon".to_string()]
+        );
+        assert_eq!(a.name(), "a");
+    }
+}

@@ -1,0 +1,421 @@
+//! Minimal HTTP/1.1 framing — just enough to carry XML-RPC.
+//!
+//! Clarens served XML-RPC over HTTP POST; we implement the same
+//! framing from scratch: request line + headers + `Content-Length`
+//! body, persistent connections by default (HTTP/1.1 keep-alive),
+//! `Connection: close` honoured. No chunked encoding, no TLS — the
+//! reproduction measures service latency, not OpenSSL.
+
+use gae_types::{GaeError, GaeResult};
+use std::io::{BufRead, Write};
+
+/// Upper bound on a single header block (DoS guard).
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Upper bound on a request/response body (DoS guard).
+const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method (`POST` for XML-RPC).
+    pub method: String,
+    /// Request path (`/RPC2` by convention).
+    pub path: String,
+    /// HTTP version string (`HTTP/1.1`).
+    pub version: String,
+    /// Raw header pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body.
+    pub body: Vec<u8>,
+}
+
+/// A parsed HTTP response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: String,
+    /// Raw header pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+fn header_lookup<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+impl HttpRequest {
+    /// Builds the canonical XML-RPC POST request.
+    pub fn xmlrpc(body: Vec<u8>, session: Option<u64>) -> Self {
+        let mut headers = vec![
+            ("Content-Type".to_string(), "text/xml".to_string()),
+            ("Content-Length".to_string(), body.len().to_string()),
+            ("User-Agent".to_string(), "gae-rpc/0.1".to_string()),
+        ];
+        if let Some(sid) = session {
+            headers.push(("X-GAE-Session".to_string(), sid.to_string()));
+        }
+        HttpRequest {
+            method: "POST".to_string(),
+            path: "/RPC2".to_string(),
+            version: "HTTP/1.1".to_string(),
+            headers,
+            body,
+        }
+    }
+
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_lookup(&self.headers, name)
+    }
+
+    /// The session id carried in `X-GAE-Session`, if any.
+    pub fn session(&self) -> GaeResult<Option<u64>> {
+        match self.header("X-GAE-Session") {
+            None => Ok(None),
+            Some(v) => v
+                .trim()
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| GaeError::Parse(format!("bad X-GAE-Session {v:?}"))),
+        }
+    }
+
+    /// Whether the connection should stay open after this request.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("Connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.version == "HTTP/1.1",
+        }
+    }
+
+    /// Serializes onto a writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write!(w, "{} {} {}\r\n", self.method, self.path, self.version)?;
+        for (k, v) in &self.headers {
+            write!(w, "{k}: {v}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+impl HttpResponse {
+    /// A `200 OK` with an XML body.
+    pub fn ok_xml(body: Vec<u8>) -> Self {
+        HttpResponse {
+            status: 200,
+            reason: "OK".to_string(),
+            headers: vec![
+                ("Content-Type".to_string(), "text/xml".to_string()),
+                ("Content-Length".to_string(), body.len().to_string()),
+            ],
+            body,
+        }
+    }
+
+    /// An error response with a plain-text body.
+    pub fn error(status: u16, reason: &str, body: &str) -> Self {
+        HttpResponse {
+            status,
+            reason: reason.to_string(),
+            headers: vec![
+                ("Content-Type".to_string(), "text/plain".to_string()),
+                ("Content-Length".to_string(), body.len().to_string()),
+            ],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_lookup(&self.headers, name)
+    }
+
+    /// Serializes onto a writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, self.reason)?;
+        for (k, v) in &self.headers {
+            write!(w, "{k}: {v}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Reads one CRLF-terminated line without the terminator.
+fn read_line<R: BufRead>(r: &mut R, budget: &mut usize) -> GaeResult<Option<String>> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(GaeError::Io("connection closed mid-line".into()));
+            }
+            Ok(_) => {
+                *budget = budget
+                    .checked_sub(1)
+                    .ok_or_else(|| GaeError::Parse("http: header block too large".into()))?;
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return Ok(Some(String::from_utf8(line).map_err(|_| {
+                        GaeError::Parse("http: non-UTF-8 header line".into())
+                    })?));
+                }
+                line.push(byte[0]);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) && line.is_empty() =>
+            {
+                // Idle connection under a read timeout: no bytes of
+                // the next request have arrived yet.
+                return Err(GaeError::Timeout("idle connection".into()));
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+fn read_headers<R: BufRead>(r: &mut R, budget: &mut usize) -> GaeResult<Vec<(String, String)>> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r, budget)?
+            .ok_or_else(|| GaeError::Io("connection closed in headers".into()))?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        let (k, v) = line
+            .split_once(':')
+            .ok_or_else(|| GaeError::Parse(format!("http: malformed header {line:?}")))?;
+        headers.push((k.trim().to_string(), v.trim().to_string()));
+    }
+}
+
+fn read_body<R: BufRead>(r: &mut R, headers: &[(String, String)]) -> GaeResult<Vec<u8>> {
+    let len = match header_lookup(headers, "Content-Length") {
+        Some(v) => v
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| GaeError::Parse(format!("http: bad Content-Length {v:?}")))?,
+        None => 0,
+    };
+    if len > MAX_BODY_BYTES {
+        return Err(GaeError::ResourceExhausted(format!(
+            "http: body of {len} bytes"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)
+        .map_err(|e| GaeError::Io(format!("http: short body: {e}")))?;
+    Ok(body)
+}
+
+/// Reads one request; `Ok(None)` on a cleanly closed idle connection.
+pub fn read_request<R: BufRead>(r: &mut R) -> GaeResult<Option<HttpRequest>> {
+    let mut budget = MAX_HEADER_BYTES;
+    let request_line = match read_line(r, &mut budget)? {
+        None => return Ok(None),
+        Some(l) => l,
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v.to_string()),
+        _ => {
+            return Err(GaeError::Parse(format!(
+                "http: bad request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(GaeError::Parse(format!(
+            "http: unsupported version {version:?}"
+        )));
+    }
+    let headers = read_headers(r, &mut budget)?;
+    let body = read_body(r, &headers)?;
+    Ok(Some(HttpRequest {
+        method,
+        path,
+        version,
+        headers,
+        body,
+    }))
+}
+
+/// Reads one response.
+pub fn read_response<R: BufRead>(r: &mut R) -> GaeResult<HttpResponse> {
+    let mut budget = MAX_HEADER_BYTES;
+    let status_line = read_line(r, &mut budget)?
+        .ok_or_else(|| GaeError::Io("connection closed before response".into()))?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(GaeError::Parse(format!(
+            "http: bad status line {status_line:?}"
+        )));
+    }
+    let status = parts
+        .next()
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| GaeError::Parse(format!("http: bad status line {status_line:?}")))?;
+    let reason = parts.next().unwrap_or("").to_string();
+    let headers = read_headers(r, &mut budget)?;
+    let body = read_body(r, &headers)?;
+    Ok(HttpResponse {
+        status,
+        reason,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn roundtrip_request(req: &HttpRequest) -> HttpRequest {
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        read_request(&mut BufReader::new(&buf[..]))
+            .unwrap()
+            .unwrap()
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req = HttpRequest::xmlrpc(b"<xml/>".to_vec(), Some(42));
+        let back = roundtrip_request(&req);
+        assert_eq!(back.method, "POST");
+        assert_eq!(back.path, "/RPC2");
+        assert_eq!(back.body, b"<xml/>");
+        assert_eq!(back.session().unwrap(), Some(42));
+        assert!(back.keep_alive());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = HttpResponse::ok_xml(b"<ok/>".to_vec());
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let back = read_response(&mut BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back.status, 200);
+        assert_eq!(back.reason, "OK");
+        assert_eq!(back.body, b"<ok/>");
+        assert_eq!(back.header("content-type"), Some("text/xml"));
+    }
+
+    #[test]
+    fn error_response() {
+        let resp = HttpResponse::error(400, "Bad Request", "nope");
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let back = read_response(&mut BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back.status, 400);
+        assert_eq!(back.body, b"nope");
+    }
+
+    #[test]
+    fn idle_close_returns_none() {
+        let empty: &[u8] = b"";
+        assert!(read_request(&mut BufReader::new(empty)).unwrap().is_none());
+    }
+
+    #[test]
+    fn partial_request_is_error() {
+        let partial: &[u8] = b"POST /RPC2 HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(read_request(&mut BufReader::new(partial)).is_err());
+        let cut: &[u8] = b"POST /RPC2 HTT";
+        assert!(read_request(&mut BufReader::new(cut)).is_err());
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        for bad in [
+            "GARBAGE\r\n\r\n",
+            "POST /RPC2 SPDY/1\r\n\r\n",
+            "POST /RPC2 HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            "POST /RPC2 HTTP/1.1\r\nContent-Length: many\r\n\r\n",
+        ] {
+            let r = read_request(&mut BufReader::new(bad.as_bytes()));
+            assert!(r.is_err(), "{bad:?} should fail: {r:?}");
+        }
+    }
+
+    #[test]
+    fn keep_alive_rules() {
+        let mut req = HttpRequest::xmlrpc(vec![], None);
+        assert!(req.keep_alive(), "1.1 default keep-alive");
+        req.headers.push(("Connection".into(), "close".into()));
+        assert!(!req.keep_alive());
+        let mut req10 = HttpRequest::xmlrpc(vec![], None);
+        req10.version = "HTTP/1.0".into();
+        assert!(!req10.keep_alive(), "1.0 default close");
+        req10
+            .headers
+            .push(("Connection".into(), "Keep-Alive".into()));
+        assert!(req10.keep_alive());
+    }
+
+    #[test]
+    fn bad_session_header() {
+        let mut req = HttpRequest::xmlrpc(vec![], None);
+        req.headers.push(("X-GAE-Session".into(), "abc".into()));
+        assert!(req.session().is_err());
+        let clean = HttpRequest::xmlrpc(vec![], None);
+        assert_eq!(clean.session().unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let huge = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            read_request(&mut BufReader::new(huge.as_bytes())),
+            Err(GaeError::ResourceExhausted(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_headers_rejected() {
+        let mut big = String::from("POST / HTTP/1.1\r\n");
+        for i in 0..2000 {
+            big.push_str(&format!("X-Pad-{i}: {}\r\n", "y".repeat(20)));
+        }
+        big.push_str("\r\n");
+        assert!(read_request(&mut BufReader::new(big.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn two_pipelined_requests() {
+        let mut buf = Vec::new();
+        HttpRequest::xmlrpc(b"one".to_vec(), None)
+            .write_to(&mut buf)
+            .unwrap();
+        HttpRequest::xmlrpc(b"two".to_vec(), None)
+            .write_to(&mut buf)
+            .unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        assert_eq!(read_request(&mut r).unwrap().unwrap().body, b"one");
+        assert_eq!(read_request(&mut r).unwrap().unwrap().body, b"two");
+        assert!(read_request(&mut r).unwrap().is_none());
+    }
+}

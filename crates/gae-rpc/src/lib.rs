@@ -1,0 +1,47 @@
+//! Clarens-style Grid-enabled web-service framework for the GAE.
+//!
+//! The paper's services "have been deployed using the Java version of
+//! the Clarens web services framework" (§3), which provides "a common
+//! set of services for authentication, access control, and for
+//! service lookup and discovery" plus SOAP/XML-RPC transport. This
+//! crate is the Rust substitute:
+//!
+//! * [`service`] — the [`Service`] trait every GAE
+//!   web service implements, plus the call context carrying the
+//!   authenticated session;
+//! * [`auth`] — session management and per-method access control
+//!   (Clarens' authentication/ACL layer, and the backing store for
+//!   the Steering Service's Session Manager, §4.2.5);
+//! * [`host`] — the [`ServiceHost`]: a registry of
+//!   services with full-method dispatch (`"jobmon.job_status"`), the
+//!   built-in `system.*` introspection service, and fault mapping;
+//! * [`threadpool`] — a crossbeam-channel worker pool used by the TCP
+//!   server (and reusable by anything needing bounded parallelism);
+//! * [`http`] — a minimal HTTP/1.1 subset (POST + Content-Length +
+//!   keep-alive), the framing XML-RPC runs over;
+//! * [`tcp`] — the real-socket server and client used by the Figure 6
+//!   experiment;
+//! * [`inproc`] — a zero-copy in-process transport with the same
+//!   client interface, used by the simulator and unit tests;
+//! * [`discovery`] — the peer-to-peer service lookup (§3's "dynamic
+//!   discovery of other services ... through a peer-to-peer based
+//!   lookup service").
+
+#![warn(missing_docs)]
+
+pub mod auth;
+pub mod discovery;
+pub mod host;
+pub mod http;
+pub mod inproc;
+pub mod service;
+pub mod tcp;
+pub mod threadpool;
+
+pub use auth::{AccessControl, Credentials, SessionManager};
+pub use discovery::{Endpoint, LookupService};
+pub use host::ServiceHost;
+pub use inproc::InProcClient;
+pub use service::{CallContext, MethodInfo, Rpc, Service};
+pub use tcp::{TcpRpcClient, TcpRpcServer};
+pub use threadpool::ThreadPool;

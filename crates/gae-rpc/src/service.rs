@@ -1,0 +1,155 @@
+//! The service abstraction every GAE web service implements.
+
+use gae_types::{GaeResult, SessionId, UserId};
+use gae_wire::Value;
+
+/// Ambient information about one RPC invocation.
+///
+/// Carries the authenticated identity (if any) so services like the
+/// Steering Service can enforce that "the authorized users steer the
+/// jobs" (§4.2.5).
+#[derive(Clone, Debug, Default)]
+pub struct CallContext {
+    /// The authenticated session, if the caller logged in.
+    pub session: Option<SessionId>,
+    /// The user bound to that session.
+    pub user: Option<UserId>,
+    /// Transport-level peer description ("10.0.0.7:4122", "inproc").
+    pub peer: String,
+}
+
+impl CallContext {
+    /// An unauthenticated context from the given peer.
+    pub fn anonymous(peer: impl Into<String>) -> Self {
+        CallContext {
+            session: None,
+            user: None,
+            peer: peer.into(),
+        }
+    }
+
+    /// An authenticated context (used by in-process callers and
+    /// tests; the TCP path populates this from the session header).
+    pub fn authenticated(user: UserId, session: SessionId) -> Self {
+        CallContext {
+            session: Some(session),
+            user: Some(user),
+            peer: "inproc".into(),
+        }
+    }
+
+    /// The authenticated user or an `Unauthorized` error.
+    pub fn require_user(&self) -> GaeResult<UserId> {
+        self.user.ok_or_else(|| {
+            gae_types::GaeError::Unauthorized("this method requires a session".into())
+        })
+    }
+}
+
+/// Introspection record for one method, served by
+/// `system.listMethods` / `system.methodHelp`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MethodInfo {
+    /// Method name without the service prefix.
+    pub name: &'static str,
+    /// One-line human description.
+    pub help: &'static str,
+}
+
+/// A GAE web service: a named bundle of methods.
+///
+/// Implementations must be thread-safe; the TCP server dispatches
+/// concurrent requests from its worker pool.
+pub trait Service: Send + Sync {
+    /// The service's registration name (`"jobmon"`, `"steering"`...).
+    fn name(&self) -> &'static str;
+
+    /// Dispatches `method` (without the service prefix).
+    fn call(&self, ctx: &CallContext, method: &str, params: &[Value]) -> GaeResult<Value>;
+
+    /// The methods this service exposes, for discovery/introspection.
+    fn methods(&self) -> Vec<MethodInfo>;
+}
+
+/// Client-side view of an RPC endpoint. Implemented by the in-process
+/// and TCP transports so services can talk to each other without
+/// knowing where the peer lives — exactly how the steering service
+/// consumes the job monitoring and estimator services.
+pub trait Rpc: Send {
+    /// Invokes `method` (full form, `"service.method"`).
+    fn call(&mut self, method: &str, params: Vec<Value>) -> GaeResult<Value>;
+
+    /// Human-readable endpoint description for diagnostics.
+    fn endpoint(&self) -> String;
+
+    /// Executes a batch of calls in one `system.multicall` round
+    /// trip, returning one result per call. Per-call faults come back
+    /// as `Err` entries without failing the batch; a transport-level
+    /// failure fails the whole call.
+    fn call_batch(&mut self, calls: Vec<(&str, Vec<Value>)>) -> GaeResult<Vec<GaeResult<Value>>> {
+        let payload = Value::Array(
+            calls
+                .into_iter()
+                .map(|(name, params)| {
+                    Value::struct_of([
+                        ("methodName", Value::from(name)),
+                        ("params", Value::Array(params)),
+                    ])
+                })
+                .collect(),
+        );
+        let raw = self.call("system.multicall", vec![payload])?;
+        raw.as_array()?
+            .iter()
+            .map(|entry| {
+                Ok(match entry {
+                    Value::Array(one) => one.first().cloned().map(Ok).unwrap_or_else(|| {
+                        Err(gae_types::GaeError::Parse(
+                            "multicall entry missing result".into(),
+                        ))
+                    }),
+                    fault => {
+                        let code = fault.member("faultCode")?.as_i32()?;
+                        let msg = fault.member("faultString")?.as_str()?.to_string();
+                        Err(gae_types::GaeError::from_fault(code, msg))
+                    }
+                })
+            })
+            .collect::<GaeResult<Vec<_>>>()
+    }
+}
+
+/// Helper: produce the canonical "unknown method" fault.
+pub fn unknown_method(service: &str, method: &str) -> gae_types::GaeError {
+    gae_types::GaeError::Rpc {
+        code: -32601,
+        message: format!("{service}.{method}: method not found"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gae_types::GaeError;
+
+    #[test]
+    fn anonymous_context_has_no_user() {
+        let ctx = CallContext::anonymous("test");
+        assert!(ctx.user.is_none());
+        assert!(matches!(ctx.require_user(), Err(GaeError::Unauthorized(_))));
+        assert_eq!(ctx.peer, "test");
+    }
+
+    #[test]
+    fn authenticated_context_yields_user() {
+        let ctx = CallContext::authenticated(UserId::new(7), SessionId::new(1));
+        assert_eq!(ctx.require_user().unwrap(), UserId::new(7));
+    }
+
+    #[test]
+    fn unknown_method_fault_code() {
+        let e = unknown_method("svc", "nope");
+        assert!(matches!(e, GaeError::Rpc { code: -32601, .. }));
+        assert!(e.to_string().contains("svc.nope"));
+    }
+}

@@ -1,0 +1,520 @@
+//! Real-socket XML-RPC transport: the path Figure 6 measures.
+//!
+//! Architecture mirrors a 2005 servlet container: an acceptor thread
+//! hands each connection to a lightweight connection thread, which
+//! frames HTTP requests and submits the actual XML-RPC work to a
+//! fixed-size [`ThreadPool`]. The pool is the server's service
+//! capacity — once parallel clients exceed it, requests queue and the
+//! mean response time climbs, exactly the behaviour the paper reports
+//! ("the service can handle a large number of clients as long as they
+//! do not exceed a certain limit", §7).
+
+use crate::host::ServiceHost;
+use crate::http::{read_request, read_response, HttpRequest, HttpResponse};
+use crate::service::Rpc;
+use crate::threadpool::ThreadPool;
+use gae_types::{GaeError, GaeResult, SessionId};
+use gae_wire::{parse_call, parse_response, write_call, write_response, MethodCall, Value};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// An XML-RPC server bound to a local TCP port.
+pub struct TcpRpcServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    requests_served: Arc<AtomicU64>,
+}
+
+impl TcpRpcServer {
+    /// Binds `127.0.0.1:0` (ephemeral port) and starts serving `host`
+    /// with a pool of `workers` request processors.
+    pub fn start(host: Arc<ServiceHost>, workers: usize) -> GaeResult<TcpRpcServer> {
+        Self::bind(host, workers, "127.0.0.1:0")
+    }
+
+    /// Binds an explicit address.
+    pub fn bind(host: Arc<ServiceHost>, workers: usize, addr: &str) -> GaeResult<TcpRpcServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let requests_served = Arc::new(AtomicU64::new(0));
+        let acceptor = {
+            let shutdown = shutdown.clone();
+            let requests_served = requests_served.clone();
+            std::thread::Builder::new()
+                .name("gae-rpc-acceptor".to_string())
+                .spawn(move || {
+                    let pool = Arc::new(ThreadPool::new(workers));
+                    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+                    while !shutdown.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((stream, peer)) => {
+                                let host = host.clone();
+                                let pool = pool.clone();
+                                let shutdown = shutdown.clone();
+                                let served = requests_served.clone();
+                                conn_threads.retain(|t| !t.is_finished());
+                                let t = std::thread::Builder::new()
+                                    .name("gae-rpc-conn".to_string())
+                                    .spawn(move || {
+                                        serve_connection(
+                                            host, pool, stream, peer, shutdown, served,
+                                        );
+                                    })
+                                    .expect("spawn connection thread");
+                                conn_threads.push(t);
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    for t in conn_threads {
+                        let _ = t.join();
+                    }
+                })
+                .map_err(|e| GaeError::Io(format!("spawn acceptor: {e}")))?
+        };
+        Ok(TcpRpcServer {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            requests_served,
+        })
+    }
+
+    /// The bound address, for clients.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's URL-ish endpoint string.
+    pub fn endpoint(&self) -> String {
+        format!("http://{}/RPC2", self.addr)
+    }
+
+    /// Total requests served (diagnostics/benchmarks).
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Signals shutdown and joins the acceptor.
+    pub fn stop(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.acceptor.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpRpcServer {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// Handles one connection: frame requests, run them on the pool,
+/// write responses, honour keep-alive.
+fn serve_connection(
+    host: Arc<ServiceHost>,
+    pool: Arc<ThreadPool>,
+    stream: TcpStream,
+    peer: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    served: Arc<AtomicU64>,
+) {
+    let _ = stream.set_nodelay(true);
+    // A read timeout lets the connection thread notice server
+    // shutdown instead of blocking forever on an idle client.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let request = match read_request(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return,                    // clean close
+            Err(GaeError::Timeout(_)) => continue, // idle poll tick
+            Err(_) => {
+                let _ =
+                    HttpResponse::error(400, "Bad Request", "malformed HTTP").write_to(&mut writer);
+                return;
+            }
+        };
+        let keep_alive = request.keep_alive();
+        // The web interface: GETs are served inline (they are cheap
+        // reads of host state, not grid work).
+        if request.method == "GET" {
+            let response = match host.handle_get(&request.path) {
+                Some((content_type, body)) => {
+                    let mut r = HttpResponse::ok_xml(body);
+                    r.headers[0] = ("Content-Type".to_string(), content_type);
+                    r
+                }
+                None => HttpResponse::error(404, "Not Found", "no such page"),
+            };
+            served.fetch_add(1, Ordering::Relaxed);
+            if response.write_to(&mut writer).is_err() || !keep_alive {
+                return;
+            }
+            continue;
+        }
+        if request.method != "POST" {
+            let _ = HttpResponse::error(405, "Method Not Allowed", "use POST /RPC2 or GET")
+                .write_to(&mut writer);
+            return;
+        }
+        // Hand the XML-RPC work to the pool and wait for the result:
+        // the pool size is the server's service capacity.
+        let (tx, rx) = crossbeam::channel::bounded::<Vec<u8>>(1);
+        let host2 = host.clone();
+        let peer_str = peer.to_string();
+        let submitted = pool.execute(move || {
+            let body = process_request(&host2, &request, &peer_str);
+            let _ = tx.send(body);
+        });
+        if !submitted {
+            let _ = HttpResponse::error(503, "Service Unavailable", "shutting down")
+                .write_to(&mut writer);
+            return;
+        }
+        let body = match rx.recv() {
+            Ok(b) => b,
+            Err(_) => return,
+        };
+        served.fetch_add(1, Ordering::Relaxed);
+        if HttpResponse::ok_xml(body).write_to(&mut writer).is_err() {
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Parses, authenticates, dispatches. Always yields a response body
+/// (faults for every failure mode).
+fn process_request(host: &ServiceHost, request: &HttpRequest, peer: &str) -> Vec<u8> {
+    let response = (|| -> GaeResult<gae_wire::Response> {
+        let session = request.session()?.map(SessionId::new);
+        let ctx = host.resolve_session(session, peer)?;
+        let call = parse_call(&request.body)?;
+        Ok(host.handle(&ctx, &call))
+    })()
+    .unwrap_or_else(|e| gae_wire::Response::Fault(gae_wire::Fault::from_error(&e)));
+    write_response(&response).into_bytes()
+}
+
+/// A persistent-connection XML-RPC client.
+pub struct TcpRpcClient {
+    addr: SocketAddr,
+    reader: Option<BufReader<TcpStream>>,
+    writer: Option<TcpStream>,
+    session: Option<u64>,
+    timeout: Duration,
+}
+
+impl TcpRpcClient {
+    /// Creates a client for `addr` (connects lazily).
+    pub fn connect(addr: SocketAddr) -> TcpRpcClient {
+        TcpRpcClient {
+            addr,
+            reader: None,
+            writer: None,
+            session: None,
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Sets the per-call timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Logs in via `auth.login` and attaches the session to all
+    /// subsequent calls.
+    pub fn login(&mut self, username: &str, password: &str) -> GaeResult<SessionId> {
+        let sid = self
+            .call(
+                "auth.login",
+                vec![Value::from(username), Value::from(password)],
+            )?
+            .as_u64()?;
+        self.session = Some(sid);
+        Ok(SessionId::new(sid))
+    }
+
+    /// Detaches the session locally and logs out remotely.
+    pub fn logout(&mut self) -> GaeResult<()> {
+        if self.session.is_some() {
+            let _ = self.call("auth.logout", vec![]);
+            self.session = None;
+        }
+        Ok(())
+    }
+
+    /// The active session id, if logged in.
+    pub fn session(&self) -> Option<u64> {
+        self.session
+    }
+
+    fn ensure_connected(&mut self) -> GaeResult<()> {
+        if self.writer.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.timeout)
+                .map_err(|e| GaeError::Io(format!("connect {}: {e}", self.addr)))?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            self.reader = Some(BufReader::new(stream.try_clone()?));
+            self.writer = Some(stream);
+        }
+        Ok(())
+    }
+
+    fn drop_connection(&mut self) {
+        self.reader = None;
+        self.writer = None;
+    }
+
+    fn try_call_once(&mut self, body: &[u8]) -> GaeResult<Vec<u8>> {
+        self.ensure_connected()?;
+        let request = HttpRequest::xmlrpc(body.to_vec(), self.session);
+        request
+            .write_to(self.writer.as_mut().expect("connected"))
+            .map_err(|e| GaeError::Io(format!("send: {e}")))?;
+        let response = read_response(self.reader.as_mut().expect("connected"))?;
+        if response.status != 200 {
+            return Err(GaeError::Rpc {
+                code: i32::from(response.status),
+                message: format!(
+                    "HTTP {} {}: {}",
+                    response.status,
+                    response.reason,
+                    String::from_utf8_lossy(&response.body)
+                ),
+            });
+        }
+        Ok(response.body)
+    }
+}
+
+impl Rpc for TcpRpcClient {
+    fn call(&mut self, method: &str, params: Vec<Value>) -> GaeResult<Value> {
+        let body = write_call(&MethodCall::new(method, params)).into_bytes();
+        // One transparent retry on a broken keep-alive connection
+        // (the server may have closed an idle socket between calls).
+        let raw = match self.try_call_once(&body) {
+            Ok(r) => r,
+            Err(GaeError::Io(_)) => {
+                self.drop_connection();
+                self.try_call_once(&body)?
+            }
+            Err(e) => return Err(e),
+        };
+        parse_response(&raw)?.into_result()
+    }
+
+    fn endpoint(&self) -> String {
+        format!("http://{}/RPC2", self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::Credentials;
+    use crate::service::{CallContext, MethodInfo, Service};
+
+    struct EchoUser;
+    impl Service for EchoUser {
+        fn name(&self) -> &'static str {
+            "test"
+        }
+        fn call(&self, ctx: &CallContext, method: &str, params: &[Value]) -> GaeResult<Value> {
+            match method {
+                "peer" => Ok(Value::from(ctx.peer.clone())),
+                "user" => Ok(ctx.user.map(|u| u.raw()).into()),
+                "sum" => {
+                    let mut s = 0i64;
+                    for p in params {
+                        s += p.as_i64()?;
+                    }
+                    Ok(Value::Int64(s))
+                }
+                "fail" => Err(GaeError::ExecutionFailure("deliberate".into())),
+                other => Err(crate::service::unknown_method("test", other)),
+            }
+        }
+        fn methods(&self) -> Vec<MethodInfo> {
+            vec![]
+        }
+    }
+
+    fn server() -> (TcpRpcServer, Arc<ServiceHost>) {
+        let host = ServiceHost::open();
+        host.register(Arc::new(EchoUser));
+        let server = TcpRpcServer::start(host.clone(), 4).unwrap();
+        (server, host)
+    }
+
+    #[test]
+    fn basic_roundtrip() {
+        let (server, _host) = server();
+        let mut client = TcpRpcClient::connect(server.addr());
+        let v = client
+            .call("test.sum", vec![Value::Int(2), Value::Int(40)])
+            .unwrap();
+        assert_eq!(v, Value::Int64(42));
+        assert_eq!(
+            client.call("system.ping", vec![]).unwrap(),
+            Value::from("pong")
+        );
+        assert!(server.requests_served() >= 2);
+        server.stop();
+    }
+
+    #[test]
+    fn faults_propagate() {
+        let (server, _host) = server();
+        let mut client = TcpRpcClient::connect(server.addr());
+        assert!(matches!(
+            client.call("test.fail", vec![]),
+            Err(GaeError::ExecutionFailure(_))
+        ));
+        assert!(matches!(
+            client.call("test.nosuch", vec![]),
+            Err(GaeError::Rpc { code: -32601, .. })
+        ));
+        server.stop();
+    }
+
+    #[test]
+    fn keep_alive_reuses_connection() {
+        let (server, _host) = server();
+        let mut client = TcpRpcClient::connect(server.addr());
+        for i in 0..50 {
+            let v = client
+                .call("test.sum", vec![Value::Int(i), Value::Int(1)])
+                .unwrap();
+            assert_eq!(v, Value::Int64(i64::from(i) + 1));
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn sessions_over_tcp() {
+        let (server, host) = server();
+        host.sessions()
+            .register(&Credentials::new("alice", "pw"))
+            .unwrap();
+        let mut client = TcpRpcClient::connect(server.addr());
+        // Anonymous first.
+        assert!(client.call("test.user", vec![]).unwrap().is_nil());
+        let sid = client.login("alice", "pw").unwrap();
+        assert!(sid.raw() > 0);
+        let user = client.call("test.user", vec![]).unwrap();
+        assert!(user.as_u64().unwrap() > 0);
+        client.logout().unwrap();
+        assert!(client.call("test.user", vec![]).unwrap().is_nil());
+        server.stop();
+    }
+
+    #[test]
+    fn bad_login_over_tcp() {
+        let (server, _host) = server();
+        let mut client = TcpRpcClient::connect(server.addr());
+        assert!(matches!(
+            client.login("ghost", "boo"),
+            Err(GaeError::Unauthorized(_))
+        ));
+        server.stop();
+    }
+
+    #[test]
+    fn stale_session_is_fault() {
+        let (server, _host) = server();
+        let mut client = TcpRpcClient::connect(server.addr());
+        client.session = Some(4242); // forged/expired session id
+        assert!(matches!(
+            client.call("system.ping", vec![]),
+            Err(GaeError::Unauthorized(_))
+        ));
+        server.stop();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let (server, _host) = server();
+        let addr = server.addr();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            handles.push(std::thread::spawn(move || {
+                let mut client = TcpRpcClient::connect(addr);
+                for i in 0..20 {
+                    let v = client
+                        .call("test.sum", vec![Value::Int(t), Value::Int(i)])
+                        .unwrap();
+                    assert_eq!(v, Value::Int64(i64::from(t) + i64::from(i)));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(server.requests_served() >= 160);
+        server.stop();
+    }
+
+    #[test]
+    fn peer_address_reported() {
+        let (server, _host) = server();
+        let mut client = TcpRpcClient::connect(server.addr());
+        let peer = client.call("test.peer", vec![]).unwrap();
+        assert!(peer.as_str().unwrap().starts_with("127.0.0.1:"));
+        server.stop();
+    }
+
+    #[test]
+    fn connect_failure_is_io_error() {
+        // Port 1 is essentially never listening.
+        let mut client = TcpRpcClient::connect("127.0.0.1:1".parse().unwrap())
+            .with_timeout(Duration::from_millis(200));
+        assert!(client.call("system.ping", vec![]).is_err());
+    }
+
+    #[test]
+    fn malformed_http_gets_400() {
+        let (server, _host) = server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        use std::io::Write;
+        stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let resp = read_response(&mut reader).unwrap();
+        assert_eq!(resp.status, 400);
+        server.stop();
+    }
+
+    #[test]
+    fn server_stops_cleanly_with_idle_connection() {
+        let (server, _host) = server();
+        let _idle = TcpStream::connect(server.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        server.stop(); // must not hang
+    }
+}

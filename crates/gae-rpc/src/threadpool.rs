@@ -1,0 +1,153 @@
+//! A small fixed-size worker pool over crossbeam channels.
+//!
+//! Used by the TCP server to bound request-handling concurrency (the
+//! paper's Figure 6 measures exactly this: response time as parallel
+//! clients grow beyond the server's service capacity).
+
+use crossbeam::channel::{unbounded, Sender};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed pool of worker threads consuming a shared queue.
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    in_flight: Arc<AtomicUsize>,
+}
+
+impl ThreadPool {
+    /// Spawns `size` workers (at least 1).
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let (tx, rx) = unbounded::<Job>();
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let mut workers = Vec::with_capacity(size);
+        for i in 0..size {
+            let rx = rx.clone();
+            let in_flight = in_flight.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("gae-rpc-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                            in_flight.fetch_sub(1, Ordering::Release);
+                        }
+                    })
+                    .expect("spawn worker thread"),
+            );
+        }
+        ThreadPool {
+            tx: Some(tx),
+            workers,
+            in_flight,
+        }
+    }
+
+    /// Enqueues a job. Returns `false` if the pool is shutting down.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) -> bool {
+        match &self.tx {
+            Some(tx) => {
+                self.in_flight.fetch_add(1, Ordering::Acquire);
+                if tx.send(Box::new(job)).is_err() {
+                    self.in_flight.fetch_sub(1, Ordering::Release);
+                    false
+                } else {
+                    true
+                }
+            }
+            None => false,
+        }
+    }
+
+    /// Jobs submitted but not yet finished.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for ThreadPool {
+    /// Drops the queue (workers drain what's left) and joins them.
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let c = counter.clone();
+            assert!(pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        drop(pool); // join waits for completion
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn jobs_run_concurrently() {
+        let pool = ThreadPool::new(4);
+        let gate = Arc::new(std::sync::Barrier::new(4));
+        let peak = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let gate = gate.clone();
+            let peak = peak.clone();
+            pool.execute(move || {
+                // All four must be inside the pool simultaneously for
+                // the barrier to release.
+                gate.wait();
+                peak.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool);
+        assert_eq!(peak.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn size_is_clamped() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.size(), 1);
+        let done = Arc::new(AtomicU64::new(0));
+        let d = done.clone();
+        pool.execute(move || {
+            d.store(1, Ordering::Relaxed);
+        });
+        drop(pool);
+        assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn in_flight_tracks_progress() {
+        let pool = ThreadPool::new(1);
+        let (tx, rx) = crossbeam::channel::bounded::<()>(0);
+        pool.execute(move || {
+            let _ = rx.recv_timeout(Duration::from_secs(5));
+        });
+        // One blocked job in flight.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(pool.in_flight(), 1);
+        tx.send(()).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(pool.in_flight(), 0);
+    }
+}

@@ -1,0 +1,321 @@
+//! The discrete-event calendar.
+//!
+//! A minimal, allocation-friendly event engine: events are boxed
+//! closures keyed by `(time, sequence)` in a binary heap, giving
+//! deterministic FIFO ordering for simultaneous events. Events can be
+//! cancelled by id — the execution service uses this to withdraw a
+//! provisional completion event when a job is paused, migrated, or its
+//! node's load changes.
+
+use gae_types::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle returned by [`SimEngine::schedule_at`]; pass to
+/// [`SimEngine::cancel`] to withdraw the event.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+type EventFn = Box<dyn FnOnce(&mut SimEngine)>;
+
+struct Entry {
+    key: Reverse<(SimTime, u64)>,
+    id: EventId,
+    action: EventFn,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// The simulation engine: a virtual clock plus an event calendar.
+pub struct SimEngine {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Entry>,
+    cancelled: HashSet<EventId>,
+    executed: u64,
+}
+
+impl Default for SimEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimEngine {
+    /// Creates an engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        SimEngine {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            executed: 0,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far (diagnostics).
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn pending(&self) -> usize {
+        self.queue.len() - self.cancelled.len()
+    }
+
+    /// Schedules `action` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — scheduling into the past would
+    /// silently corrupt causality.
+    pub fn schedule_at<F>(&mut self, at: SimTime, action: F) -> EventId
+    where
+        F: FnOnce(&mut SimEngine) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
+        let id = EventId(self.seq);
+        self.queue.push(Entry {
+            key: Reverse((at, self.seq)),
+            id,
+            action: Box::new(action),
+        });
+        self.seq += 1;
+        id
+    }
+
+    /// Schedules `action` after a relative delay.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, action: F) -> EventId
+    where
+        F: FnOnce(&mut SimEngine) + 'static,
+    {
+        self.schedule_at(self.now + delay, action)
+    }
+
+    /// Cancels a pending event. Cancelling an already-fired or
+    /// already-cancelled event is a harmless no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        if id.0 < self.seq {
+            self.cancelled.insert(id);
+        }
+    }
+
+    /// Executes the single next event, if any, returning the time it
+    /// fired at.
+    pub fn step(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.queue.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            let Reverse((at, _)) = entry.key;
+            self.now = at;
+            self.executed += 1;
+            (entry.action)(self);
+            return Some(at);
+        }
+        None
+    }
+
+    /// Runs every event with timestamp `<= until`, then advances the
+    /// clock to exactly `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        loop {
+            let next = loop {
+                match self.queue.peek() {
+                    Some(e) if self.cancelled.contains(&e.id) => {
+                        let e = self.queue.pop().expect("peeked");
+                        self.cancelled.remove(&e.id);
+                    }
+                    Some(e) => break Some(e.key.0 .0),
+                    None => break None,
+                }
+            };
+            match next {
+                Some(t) if t <= until => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        debug_assert!(self.now <= until);
+        self.now = until;
+    }
+
+    /// Runs until the calendar is empty; returns the final time.
+    ///
+    /// `max_events` bounds runaway self-rescheduling loops.
+    pub fn run_to_completion(&mut self, max_events: u64) -> SimTime {
+        let mut budget = max_events;
+        while self.step().is_some() {
+            budget = budget
+                .checked_sub(1)
+                .expect("simulation exceeded event budget");
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    type Recorded = Box<dyn FnOnce(&mut SimEngine)>;
+
+    fn recorder() -> (Rc<RefCell<Vec<u32>>>, impl Fn(u32) -> Recorded) {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l2 = log.clone();
+        let make = move |tag: u32| -> Recorded {
+            let log = l2.clone();
+            Box::new(move |_e: &mut SimEngine| log.borrow_mut().push(tag))
+        };
+        (log, make)
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut e = SimEngine::new();
+        let (log, make) = recorder();
+        e.schedule_at(SimTime::from_secs(3), make(3));
+        e.schedule_at(SimTime::from_secs(1), make(1));
+        e.schedule_at(SimTime::from_secs(2), make(2));
+        e.run_to_completion(100);
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+        assert_eq!(e.now(), SimTime::from_secs(3));
+        assert_eq!(e.executed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut e = SimEngine::new();
+        let (log, make) = recorder();
+        for tag in 0..10 {
+            e.schedule_at(SimTime::from_secs(5), make(tag));
+        }
+        e.run_to_completion(100);
+        assert_eq!(*log.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_to_event_times() {
+        let mut e = SimEngine::new();
+        e.schedule_in(SimDuration::from_secs(7), |eng| {
+            assert_eq!(eng.now(), SimTime::from_secs(7));
+        });
+        assert_eq!(e.step(), Some(SimTime::from_secs(7)));
+        assert_eq!(e.step(), None);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut e = SimEngine::new();
+        let (log, _) = recorder();
+        let log2 = log.clone();
+        e.schedule_at(SimTime::from_secs(1), move |eng| {
+            let log3 = log2.clone();
+            log2.borrow_mut().push(1);
+            eng.schedule_in(SimDuration::from_secs(1), move |_| {
+                log3.borrow_mut().push(2);
+            });
+        });
+        e.run_to_completion(100);
+        assert_eq!(*log.borrow(), vec![1, 2]);
+        assert_eq!(e.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut e = SimEngine::new();
+        let (log, make) = recorder();
+        let keep = e.schedule_at(SimTime::from_secs(1), make(1));
+        let drop_ = e.schedule_at(SimTime::from_secs(2), make(2));
+        e.schedule_at(SimTime::from_secs(3), make(3));
+        e.cancel(drop_);
+        let _ = keep;
+        e.run_to_completion(100);
+        assert_eq!(*log.borrow(), vec![1, 3]);
+        // Cancelling a fired event is a no-op.
+        e.cancel(keep);
+    }
+
+    #[test]
+    fn run_until_stops_at_boundary() {
+        let mut e = SimEngine::new();
+        let (log, make) = recorder();
+        e.schedule_at(SimTime::from_secs(1), make(1));
+        e.schedule_at(SimTime::from_secs(2), make(2));
+        e.schedule_at(SimTime::from_secs(5), make(5));
+        e.run_until(SimTime::from_secs(2));
+        assert_eq!(*log.borrow(), vec![1, 2]);
+        assert_eq!(e.now(), SimTime::from_secs(2));
+        assert_eq!(e.pending(), 1);
+        e.run_until(SimTime::from_secs(10));
+        assert_eq!(*log.borrow(), vec![1, 2, 5]);
+        assert_eq!(e.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn run_until_skips_cancelled_head() {
+        let mut e = SimEngine::new();
+        let (log, make) = recorder();
+        let a = e.schedule_at(SimTime::from_secs(1), make(1));
+        e.schedule_at(SimTime::from_secs(2), make(2));
+        e.cancel(a);
+        e.run_until(SimTime::from_secs(3));
+        assert_eq!(*log.borrow(), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut e = SimEngine::new();
+        e.schedule_at(SimTime::from_secs(5), |_| {});
+        e.run_to_completion(10);
+        e.schedule_at(SimTime::from_secs(1), |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "event budget")]
+    fn runaway_loop_hits_budget() {
+        let mut e = SimEngine::new();
+        fn tick(eng: &mut SimEngine) {
+            eng.schedule_in(SimDuration::from_secs(1), tick);
+        }
+        e.schedule_in(SimDuration::from_secs(1), tick);
+        e.run_to_completion(50);
+    }
+
+    #[test]
+    fn pending_counts_exclude_cancelled() {
+        let mut e = SimEngine::new();
+        let a = e.schedule_at(SimTime::from_secs(1), |_| {});
+        e.schedule_at(SimTime::from_secs(2), |_| {});
+        assert_eq!(e.pending(), 2);
+        e.cancel(a);
+        assert_eq!(e.pending(), 1);
+    }
+}

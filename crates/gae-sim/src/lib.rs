@@ -1,0 +1,29 @@
+//! Deterministic discrete-event grid simulator for the GAE.
+//!
+//! The 2005 paper evaluated its services on a live Condor testbed; we
+//! substitute a discrete-event simulation substrate that provides the
+//! same observables:
+//!
+//! * [`engine`] — a classic event-calendar engine with a virtual
+//!   clock, FIFO tie-breaking and event cancellation (needed because
+//!   execution services re-plan completion events whenever load
+//!   changes or a steering command lands);
+//! * [`load`] — piecewise-constant **external CPU load traces** with
+//!   closed-form accrual integrals: given a start instant and an
+//!   amount of CPU work, the finish instant is computed analytically,
+//!   so simulations are exact rather than tick-based;
+//! * [`network`] — a link-level network model (bandwidth + latency)
+//!   with a simulated `iperf` bandwidth probe, used by the paper's
+//!   file-transfer-time estimator (§6.3);
+//! * [`rng`] — seeded RNG helpers so every experiment is reproducible.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod load;
+pub mod network;
+pub mod rng;
+
+pub use engine::{EventId, SimEngine};
+pub use load::LoadTrace;
+pub use network::{Link, NetworkModel, ProbeResult};

@@ -1,0 +1,30 @@
+//! SDSC Paragon accounting traces for the runtime-estimator study.
+//!
+//! The paper's Figure 5 experiment used "accounting data from the
+//! Paragon Supercomputer at the San Diego Supercomputing Center ...
+//! collected by Allen Downey in 1995" (§7). That dataset is not
+//! redistributable, so this crate provides:
+//!
+//! * [`record`] — the **exact record schema the paper lists**
+//!   (account, login, partition, nodes, job type, status, requested
+//!   CPU hours, queue, charge rates, submit/start/complete times),
+//!   with a small CSV codec for persistence;
+//! * [`workload`] — a Downey-style synthetic generator: users run a
+//!   repertoire of applications whose runtimes are log-uniform across
+//!   applications and log-normally dispersed between runs of the same
+//!   application. That correlation structure ("tasks with similar
+//!   characteristics generally have similar runtimes", §6.1) is what
+//!   history-based prediction exploits;
+//! * [`similarity`] — Smith/Taylor/Foster-style **similarity
+//!   templates**: ordered feature sets used to find "similar tasks in
+//!   the history" (§6.1).
+
+#![warn(missing_docs)]
+
+pub mod record;
+pub mod similarity;
+pub mod workload;
+
+pub use record::ParagonRecord;
+pub use similarity::{Feature, SimilarityTemplate, TaskMeta, TemplateHierarchy};
+pub use workload::WorkloadModel;

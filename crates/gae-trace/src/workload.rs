@@ -1,0 +1,292 @@
+//! Downey-style synthetic Paragon workload.
+//!
+//! Allen Downey's analyses of the 1995/96 SDSC Paragon logs found job
+//! durations spread log-uniformly over several decades, strong
+//! per-user repetition (users re-run the same applications), and
+//! power-of-two node counts. The generator reproduces exactly that
+//! structure:
+//!
+//! * each **user** owns a few **applications**;
+//! * each application has a characteristic runtime drawn log-uniform
+//!   from `[runtime_lo, runtime_hi]`, a node count `2^k`, a queue
+//!   chosen by runtime class, and a partition;
+//! * each **job** is one run of one application: its actual runtime
+//!   is the characteristic runtime times log-normal noise `σ`
+//!   (run-to-run variation — the quantity that bounds how well *any*
+//!   history-based estimator can do);
+//! * submissions arrive with exponential inter-arrival times; queue
+//!   waits are exponential; ~5 % of jobs fail.
+
+use crate::record::ParagonRecord;
+use gae_sim::rng::{log_uniform, lognormal_noise, seeded_rng};
+use gae_types::{JobType, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Parameters of the synthetic workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadModel {
+    /// Number of distinct users.
+    pub users: u32,
+    /// Applications per user.
+    pub apps_per_user: u32,
+    /// Shortest characteristic runtime (seconds).
+    pub runtime_lo: f64,
+    /// Longest characteristic runtime (seconds).
+    pub runtime_hi: f64,
+    /// Log-normal run-to-run dispersion (σ of ln runtime).
+    pub sigma: f64,
+    /// Mean inter-arrival time between submissions (seconds).
+    pub mean_interarrival: f64,
+    /// Mean queue wait (seconds).
+    pub mean_queue_wait: f64,
+    /// Probability a job is interactive.
+    pub interactive_fraction: f64,
+    /// Probability a job fails.
+    pub failure_fraction: f64,
+}
+
+impl Default for WorkloadModel {
+    /// Values calibrated so a 100-job history predicts 20 probes with
+    /// a mean error near the paper's 13.53 %.
+    fn default() -> Self {
+        WorkloadModel {
+            users: 6,
+            apps_per_user: 2,
+            runtime_lo: 60.0,
+            runtime_hi: 40_000.0,
+            sigma: 0.13,
+            mean_interarrival: 900.0,
+            mean_queue_wait: 600.0,
+            interactive_fraction: 0.15,
+            failure_fraction: 0.05,
+        }
+    }
+}
+
+/// One user application (the unit of similarity).
+#[derive(Clone, Debug)]
+struct AppProfile {
+    account: String,
+    login: String,
+    partition: String,
+    queue: String,
+    nodes: u32,
+    job_type: JobType,
+    characteristic_runtime: f64,
+    charge_cpu_rate: f64,
+    charge_idle_rate: f64,
+}
+
+impl WorkloadModel {
+    fn build_profiles(&self, rng: &mut StdRng) -> Vec<AppProfile> {
+        let mut profiles = Vec::new();
+        for u in 0..self.users {
+            let login = format!("user{u:02}");
+            let account = format!("proj{:02}", u % 5);
+            for a in 0..self.apps_per_user {
+                let runtime = log_uniform(rng, self.runtime_lo, self.runtime_hi);
+                let nodes = 1u32 << rng.gen_range(0..6); // 1..32, powers of two
+                let queue = if runtime < 600.0 {
+                    "q_short"
+                } else if runtime < 7200.0 {
+                    "q_medium"
+                } else {
+                    "q_long"
+                };
+                let job_type = if rng.gen_bool(self.interactive_fraction) {
+                    JobType::Interactive
+                } else {
+                    JobType::Batch
+                };
+                profiles.push(AppProfile {
+                    account: account.clone(),
+                    login: login.clone(),
+                    partition: if nodes >= 16 {
+                        "wide".into()
+                    } else {
+                        "compute".into()
+                    },
+                    queue: queue.to_string(),
+                    nodes,
+                    job_type,
+                    characteristic_runtime: runtime,
+                    charge_cpu_rate: 1.0 + f64::from(a % 3),
+                    charge_idle_rate: 0.1,
+                });
+            }
+        }
+        profiles
+    }
+
+    /// Generates `n` accounting records, deterministically for a
+    /// given seed, ordered by submission time.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<ParagonRecord> {
+        assert!(self.runtime_lo > 0.0 && self.runtime_hi >= self.runtime_lo);
+        assert!(self.users > 0 && self.apps_per_user > 0);
+        let mut rng = seeded_rng(seed);
+        let profiles = self.build_profiles(&mut rng);
+        let mut records = Vec::with_capacity(n);
+        let mut clock = 0.0f64;
+        for _ in 0..n {
+            // Exponential inter-arrival via inverse CDF.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            clock += -self.mean_interarrival * u.ln();
+            let profile = &profiles[rng.gen_range(0..profiles.len())];
+            let runtime = profile.characteristic_runtime * lognormal_noise(&mut rng, self.sigma);
+            let wait = {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                -self.mean_queue_wait * u.ln()
+            };
+            let success = !rng.gen_bool(self.failure_fraction);
+            // Failed jobs die partway through their runtime.
+            let effective_runtime = if success {
+                runtime
+            } else {
+                runtime * rng.gen_range(0.01..0.9)
+            };
+            let submitted = SimTime::from_secs_f64(clock);
+            let started = submitted + SimDuration::from_secs_f64(wait);
+            let completed = started + SimDuration::from_secs_f64(effective_runtime);
+            records.push(ParagonRecord {
+                account: profile.account.clone(),
+                login: profile.login.clone(),
+                partition: profile.partition.clone(),
+                nodes: profile.nodes,
+                job_type: profile.job_type,
+                success,
+                requested_cpu_hours: runtime / 3600.0 * rng.gen_range(1.0..2.5),
+                queue: profile.queue.clone(),
+                charge_cpu_rate: profile.charge_cpu_rate,
+                charge_idle_rate: profile.charge_idle_rate,
+                submitted,
+                started,
+                completed,
+            });
+        }
+        records
+    }
+
+    /// The paper's Figure 5 setup: a 100-job history plus 20 probe
+    /// jobs, drawn from the same workload (the probes are the *next*
+    /// 20 jobs after the history window).
+    pub fn figure5_split(&self, seed: u64) -> (Vec<ParagonRecord>, Vec<ParagonRecord>) {
+        let mut all = self.generate(120, seed);
+        let probes = all.split_off(100);
+        (all, probes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let m = WorkloadModel::default();
+        assert_eq!(m.generate(50, 7), m.generate(50, 7));
+        assert_ne!(m.generate(50, 7), m.generate(50, 8));
+    }
+
+    #[test]
+    fn records_are_valid_and_ordered() {
+        let m = WorkloadModel::default();
+        let records = m.generate(200, 42);
+        assert_eq!(records.len(), 200);
+        for r in &records {
+            r.validate().unwrap();
+            assert!(r.nodes.is_power_of_two());
+            assert!(r.requested_cpu_hours > 0.0);
+        }
+        for w in records.windows(2) {
+            assert!(w[0].submitted <= w[1].submitted, "submissions ordered");
+        }
+    }
+
+    #[test]
+    fn runtimes_span_decades() {
+        let m = WorkloadModel {
+            users: 20,
+            ..WorkloadModel::default()
+        };
+        let records = m.generate(500, 1);
+        let runtimes: Vec<f64> = records
+            .iter()
+            .filter(|r| r.success)
+            .map(|r| r.runtime().as_secs_f64())
+            .collect();
+        let min = runtimes.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = runtimes.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 20.0, "span {min}..{max} too narrow");
+    }
+
+    #[test]
+    fn same_app_runtimes_cluster() {
+        let m = WorkloadModel::default();
+        let records = m.generate(400, 3);
+        // Group successful jobs by (login, queue, nodes) — the
+        // similarity key — and check within-group dispersion is far
+        // smaller than global dispersion.
+        let mut groups: HashMap<(String, String, u32), Vec<f64>> = HashMap::new();
+        for r in records.iter().filter(|r| r.success) {
+            groups
+                .entry((r.login.clone(), r.queue.clone(), r.nodes))
+                .or_default()
+                .push(r.runtime().as_secs_f64());
+        }
+        let mut checked = 0;
+        for rts in groups.values().filter(|v| v.len() >= 5) {
+            let mean = rts.iter().sum::<f64>() / rts.len() as f64;
+            let cv = (rts.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / rts.len() as f64)
+                .sqrt()
+                / mean;
+            // σ=0.16 log-normal ⇒ CV ≈ 16 %; allow generous slack for
+            // groups that mix two apps with the same key.
+            assert!(cv < 1.0, "group CV {cv} too dispersed");
+            checked += 1;
+        }
+        assert!(
+            checked >= 5,
+            "expected several populated groups, got {checked}"
+        );
+    }
+
+    #[test]
+    fn failure_fraction_respected() {
+        let m = WorkloadModel {
+            failure_fraction: 0.3,
+            ..WorkloadModel::default()
+        };
+        let records = m.generate(1000, 9);
+        let failures = records.iter().filter(|r| !r.success).count();
+        assert!((200..400).contains(&failures), "failures {failures}");
+    }
+
+    #[test]
+    fn figure5_split_sizes() {
+        let m = WorkloadModel::default();
+        let (history, probes) = m.figure5_split(2005);
+        assert_eq!(history.len(), 100);
+        assert_eq!(probes.len(), 20);
+        // Probes come after the history in submission time.
+        assert!(probes[0].submitted >= history[99].submitted);
+    }
+
+    #[test]
+    fn queues_reflect_runtime_classes() {
+        let m = WorkloadModel::default();
+        let records = m.generate(300, 11);
+        for r in records.iter().filter(|r| r.success) {
+            let rt = r.runtime().as_secs_f64();
+            // Class boundaries are on the characteristic runtime, and
+            // per-run noise can cross them; check the loose version.
+            match r.queue.as_str() {
+                "q_short" => assert!(rt < 600.0 * 2.5, "short queue rt {rt}"),
+                "q_medium" => assert!(rt < 7200.0 * 2.5, "medium queue rt {rt}"),
+                "q_long" => assert!(rt > 7200.0 / 2.5, "long queue rt {rt}"),
+                other => panic!("unexpected queue {other}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The error type shared by all GAE crates.
+
+use std::fmt;
+
+/// Result alias used throughout the GAE crates.
+pub type GaeResult<T> = Result<T, GaeError>;
+
+/// Errors produced by GAE substrates and services.
+///
+/// The variants mirror the failure surfaces of the paper's
+/// architecture: lookup failures, illegal lifecycle transitions,
+/// authorization failures from the Session Manager, RPC faults from
+/// the Clarens layer, and estimator failures (e.g. no similar task in
+/// the history).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GaeError {
+    /// A job, task, site, node, or session was not found.
+    NotFound(String),
+    /// A job-control command was illegal in the current state
+    /// (e.g. resuming a completed job).
+    InvalidTransition {
+        /// Entity the command addressed.
+        entity: String,
+        /// State the entity was in.
+        from: String,
+        /// Operation that was attempted.
+        attempted: String,
+    },
+    /// The Session Manager rejected the caller (§4.2.5).
+    Unauthorized(String),
+    /// A malformed identifier, message, or trace record.
+    Parse(String),
+    /// The Clarens RPC layer reported a fault.
+    Rpc {
+        /// XML-RPC fault code.
+        code: i32,
+        /// XML-RPC fault string.
+        message: String,
+    },
+    /// An estimator could not produce an estimate
+    /// (e.g. empty history, no similar tasks).
+    Estimator(String),
+    /// A job plan was rejected (cycle in the DAG, unknown site, ...).
+    InvalidPlan(String),
+    /// An execution service or node failed (the Backup & Recovery
+    /// module reacts to this, §4.2.4).
+    ExecutionFailure(String),
+    /// A resource limit was exceeded (queue full, quota exhausted).
+    ResourceExhausted(String),
+    /// An I/O error from the transport layer.
+    Io(String),
+    /// Request timed out.
+    Timeout(String),
+}
+
+impl GaeError {
+    /// Short machine-readable category, used for XML-RPC fault codes
+    /// and monitoring counters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GaeError::NotFound(_) => "not_found",
+            GaeError::InvalidTransition { .. } => "invalid_transition",
+            GaeError::Unauthorized(_) => "unauthorized",
+            GaeError::Parse(_) => "parse",
+            GaeError::Rpc { .. } => "rpc",
+            GaeError::Estimator(_) => "estimator",
+            GaeError::InvalidPlan(_) => "invalid_plan",
+            GaeError::ExecutionFailure(_) => "execution_failure",
+            GaeError::ResourceExhausted(_) => "resource_exhausted",
+            GaeError::Io(_) => "io",
+            GaeError::Timeout(_) => "timeout",
+        }
+    }
+
+    /// Numeric fault code used on the XML-RPC wire. Codes are stable:
+    /// clients match on them.
+    pub fn fault_code(&self) -> i32 {
+        match self {
+            GaeError::NotFound(_) => 404,
+            GaeError::InvalidTransition { .. } => 409,
+            GaeError::Unauthorized(_) => 401,
+            GaeError::Parse(_) => 400,
+            GaeError::Rpc { code, .. } => *code,
+            GaeError::Estimator(_) => 520,
+            GaeError::InvalidPlan(_) => 422,
+            GaeError::ExecutionFailure(_) => 500,
+            GaeError::ResourceExhausted(_) => 507,
+            GaeError::Io(_) => 502,
+            GaeError::Timeout(_) => 504,
+        }
+    }
+
+    /// Reconstructs an error from a wire-level fault code and string,
+    /// the inverse of [`GaeError::fault_code`] as far as possible.
+    /// The Display prefix a round-tripping error already carries is
+    /// stripped so messages do not stutter ("unauthorized:
+    /// unauthorized: ...").
+    pub fn from_fault(code: i32, message: String) -> GaeError {
+        let strip = |prefix: &str| -> String {
+            message
+                .strip_prefix(prefix)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| message.clone())
+        };
+        let message = match code {
+            404 => strip("not found: "),
+            401 => strip("unauthorized: "),
+            400 => strip("parse error: "),
+            520 => strip("estimator error: "),
+            422 => strip("invalid plan: "),
+            500 => strip("execution failure: "),
+            507 => strip("resource exhausted: "),
+            502 => strip("io error: "),
+            504 => strip("timeout: "),
+            _ => message,
+        };
+        match code {
+            404 => GaeError::NotFound(message),
+            401 => GaeError::Unauthorized(message),
+            400 => GaeError::Parse(message),
+            520 => GaeError::Estimator(message),
+            422 => GaeError::InvalidPlan(message),
+            500 => GaeError::ExecutionFailure(message),
+            507 => GaeError::ResourceExhausted(message),
+            502 => GaeError::Io(message),
+            504 => GaeError::Timeout(message),
+            _ => GaeError::Rpc { code, message },
+        }
+    }
+}
+
+impl fmt::Display for GaeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GaeError::NotFound(what) => write!(f, "not found: {what}"),
+            GaeError::InvalidTransition {
+                entity,
+                from,
+                attempted,
+            } => {
+                write!(
+                    f,
+                    "invalid transition on {entity}: cannot {attempted} while {from}"
+                )
+            }
+            GaeError::Unauthorized(why) => write!(f, "unauthorized: {why}"),
+            GaeError::Parse(why) => write!(f, "parse error: {why}"),
+            GaeError::Rpc { code, message } => write!(f, "rpc fault {code}: {message}"),
+            GaeError::Estimator(why) => write!(f, "estimator error: {why}"),
+            GaeError::InvalidPlan(why) => write!(f, "invalid plan: {why}"),
+            GaeError::ExecutionFailure(why) => write!(f, "execution failure: {why}"),
+            GaeError::ResourceExhausted(why) => write!(f, "resource exhausted: {why}"),
+            GaeError::Io(why) => write!(f, "io error: {why}"),
+            GaeError::Timeout(why) => write!(f, "timeout: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for GaeError {}
+
+impl From<std::io::Error> for GaeError {
+    fn from(e: std::io::Error) -> Self {
+        GaeError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GaeError::InvalidTransition {
+            entity: "job-3".into(),
+            from: "Completed".into(),
+            attempted: "resume".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "invalid transition on job-3: cannot resume while Completed"
+        );
+    }
+
+    #[test]
+    fn fault_codes_roundtrip() {
+        let cases = vec![
+            GaeError::NotFound("x".into()),
+            GaeError::Unauthorized("x".into()),
+            GaeError::Parse("x".into()),
+            GaeError::Estimator("x".into()),
+            GaeError::InvalidPlan("x".into()),
+            GaeError::ExecutionFailure("x".into()),
+            GaeError::ResourceExhausted("x".into()),
+            GaeError::Io("x".into()),
+            GaeError::Timeout("x".into()),
+        ];
+        for e in cases {
+            let back = GaeError::from_fault(e.fault_code(), "x".into());
+            assert_eq!(back.kind(), e.kind(), "{e:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_fault_code_becomes_rpc() {
+        let e = GaeError::from_fault(999, "boom".into());
+        assert_eq!(
+            e,
+            GaeError::Rpc {
+                code: 999,
+                message: "boom".into()
+            }
+        );
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe");
+        let e: GaeError = io.into();
+        assert_eq!(e.kind(), "io");
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        use std::collections::HashSet;
+        let kinds: HashSet<_> = [
+            GaeError::NotFound(String::new()).kind(),
+            GaeError::Unauthorized(String::new()).kind(),
+            GaeError::Parse(String::new()).kind(),
+            GaeError::Estimator(String::new()).kind(),
+            GaeError::InvalidPlan(String::new()).kind(),
+            GaeError::ExecutionFailure(String::new()).kind(),
+            GaeError::ResourceExhausted(String::new()).kind(),
+            GaeError::Io(String::new()).kind(),
+            GaeError::Timeout(String::new()).kind(),
+            GaeError::Rpc {
+                code: 0,
+                message: String::new(),
+            }
+            .kind(),
+            GaeError::InvalidTransition {
+                entity: String::new(),
+                from: String::new(),
+                attempted: String::new(),
+            }
+            .kind(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(kinds.len(), 11);
+    }
+}

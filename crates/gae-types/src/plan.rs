@@ -1,0 +1,348 @@
+//! Job plans: the scheduler's output and the steering service's input.
+//!
+//! The paper distinguishes an *abstract* job plan (what to run) from a
+//! *concrete* job plan ("a job plan precisely describing the nodes
+//! where the job will be executed", §4.2.1) which the scheduler sends
+//! to the Steering Service. The steering Subscriber analyses the
+//! concrete plan to learn which execution services host the job.
+
+use crate::error::{GaeError, GaeResult};
+use crate::ids::{JobId, PlanId, SiteId, TaskId};
+use crate::job::JobSpec;
+use std::collections::HashSet;
+use std::fmt;
+
+/// What to run: the job spec plus scheduling hints, before any site
+/// has been chosen.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AbstractPlan {
+    /// The job to schedule.
+    pub job: JobSpec,
+    /// Sites the user explicitly allows (empty = all).
+    pub allowed_sites: Vec<SiteId>,
+    /// Optimization preference the Optimizer honours (§4.2.2).
+    pub preference: OptimizationPreference,
+}
+
+/// The Optimizer's notion of "Best Site" depends on this preference
+/// ("cheap or fast execution", §4.2.2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum OptimizationPreference {
+    /// Minimise expected completion time (run + queue + transfer).
+    #[default]
+    Fast,
+    /// Minimise monetary cost as reported by the Quota and Accounting
+    /// Service.
+    Cheap,
+}
+
+impl fmt::Display for OptimizationPreference {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OptimizationPreference::Fast => "fast",
+            OptimizationPreference::Cheap => "cheap",
+        })
+    }
+}
+
+impl AbstractPlan {
+    /// Wraps a job with default (fast, unrestricted) preferences.
+    pub fn new(job: JobSpec) -> Self {
+        AbstractPlan {
+            job,
+            allowed_sites: Vec::new(),
+            preference: OptimizationPreference::Fast,
+        }
+    }
+
+    /// Builder-style preference.
+    pub fn with_preference(mut self, p: OptimizationPreference) -> Self {
+        self.preference = p;
+        self
+    }
+
+    /// Builder-style site restriction.
+    pub fn restricted_to(mut self, sites: Vec<SiteId>) -> Self {
+        self.allowed_sites = sites;
+        self
+    }
+
+    /// True if `site` is permitted by the plan's restriction list.
+    pub fn site_allowed(&self, site: SiteId) -> bool {
+        self.allowed_sites.is_empty() || self.allowed_sites.contains(&site)
+    }
+}
+
+/// One task→site placement inside a concrete plan.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TaskAssignment {
+    /// The task being placed.
+    pub task: TaskId,
+    /// The execution site that will run it.
+    pub site: SiteId,
+}
+
+/// A fully-placed job plan, produced by the scheduler and consumed by
+/// the steering service's Subscriber.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ConcretePlan {
+    /// Unique plan id (a resubmission after failure gets a new one).
+    pub id: PlanId,
+    /// The job this plan realises.
+    pub job: JobSpec,
+    /// Placement of every task.
+    pub assignments: Vec<TaskAssignment>,
+    /// Monotonic revision: 0 for the initial schedule, bumped on every
+    /// reschedule (move/recovery).
+    pub revision: u32,
+}
+
+impl ConcretePlan {
+    /// Builds a concrete plan, checking that every task of the job is
+    /// assigned exactly once and no stray assignments exist.
+    pub fn new(
+        id: PlanId,
+        job: JobSpec,
+        assignments: Vec<TaskAssignment>,
+    ) -> GaeResult<ConcretePlan> {
+        let task_ids: HashSet<TaskId> = job.task_ids().into_iter().collect();
+        let mut assigned = HashSet::new();
+        for a in &assignments {
+            if !task_ids.contains(&a.task) {
+                return Err(GaeError::InvalidPlan(format!(
+                    "assignment for unknown task {}",
+                    a.task
+                )));
+            }
+            if !assigned.insert(a.task) {
+                return Err(GaeError::InvalidPlan(format!(
+                    "task {} assigned more than once",
+                    a.task
+                )));
+            }
+        }
+        if assigned.len() != task_ids.len() {
+            let missing: Vec<_> = task_ids
+                .difference(&assigned)
+                .map(|t| t.to_string())
+                .collect();
+            return Err(GaeError::InvalidPlan(format!(
+                "tasks not assigned: {}",
+                missing.join(", ")
+            )));
+        }
+        Ok(ConcretePlan {
+            id,
+            job,
+            assignments,
+            revision: 0,
+        })
+    }
+
+    /// The job this plan belongs to.
+    pub fn job_id(&self) -> JobId {
+        self.job.id
+    }
+
+    /// Site assigned to `task`, if any.
+    pub fn site_of(&self, task: TaskId) -> Option<SiteId> {
+        self.assignments
+            .iter()
+            .find(|a| a.task == task)
+            .map(|a| a.site)
+    }
+
+    /// The distinct execution sites this plan uses — exactly what the
+    /// steering Subscriber extracts (§4.2.1).
+    pub fn sites(&self) -> Vec<SiteId> {
+        let mut sites: Vec<SiteId> = Vec::new();
+        for a in &self.assignments {
+            if !sites.contains(&a.site) {
+                sites.push(a.site);
+            }
+        }
+        sites
+    }
+
+    /// Returns a new revision of this plan with `task` moved to
+    /// `new_site` (used for the steering *move* command).
+    pub fn reassigned(&self, task: TaskId, new_site: SiteId) -> GaeResult<ConcretePlan> {
+        let mut next = self.clone();
+        let slot = next
+            .assignments
+            .iter_mut()
+            .find(|a| a.task == task)
+            .ok_or_else(|| GaeError::NotFound(format!("{task} in plan {}", self.id)))?;
+        slot.site = new_site;
+        next.revision += 1;
+        Ok(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::UserId;
+    use crate::job::TaskSpec;
+
+    fn two_task_job() -> JobSpec {
+        let mut job = JobSpec::new(JobId::new(1), "j", UserId::new(1));
+        job.add_task(TaskSpec::new(TaskId::new(1), "a", "x"));
+        job.add_task(TaskSpec::new(TaskId::new(2), "b", "x"));
+        job
+    }
+
+    #[test]
+    fn complete_assignment_accepted() {
+        let job = two_task_job();
+        let plan = ConcretePlan::new(
+            PlanId::new(1),
+            job,
+            vec![
+                TaskAssignment {
+                    task: TaskId::new(1),
+                    site: SiteId::new(10),
+                },
+                TaskAssignment {
+                    task: TaskId::new(2),
+                    site: SiteId::new(20),
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(plan.site_of(TaskId::new(1)), Some(SiteId::new(10)));
+        assert_eq!(plan.sites(), vec![SiteId::new(10), SiteId::new(20)]);
+        assert_eq!(plan.revision, 0);
+    }
+
+    #[test]
+    fn missing_assignment_rejected() {
+        let job = two_task_job();
+        let err = ConcretePlan::new(
+            PlanId::new(1),
+            job,
+            vec![TaskAssignment {
+                task: TaskId::new(1),
+                site: SiteId::new(10),
+            }],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("not assigned"));
+    }
+
+    #[test]
+    fn duplicate_assignment_rejected() {
+        let job = two_task_job();
+        let err = ConcretePlan::new(
+            PlanId::new(1),
+            job,
+            vec![
+                TaskAssignment {
+                    task: TaskId::new(1),
+                    site: SiteId::new(10),
+                },
+                TaskAssignment {
+                    task: TaskId::new(1),
+                    site: SiteId::new(20),
+                },
+                TaskAssignment {
+                    task: TaskId::new(2),
+                    site: SiteId::new(20),
+                },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("more than once"));
+    }
+
+    #[test]
+    fn unknown_task_rejected() {
+        let job = two_task_job();
+        let err = ConcretePlan::new(
+            PlanId::new(1),
+            job,
+            vec![
+                TaskAssignment {
+                    task: TaskId::new(1),
+                    site: SiteId::new(10),
+                },
+                TaskAssignment {
+                    task: TaskId::new(2),
+                    site: SiteId::new(10),
+                },
+                TaskAssignment {
+                    task: TaskId::new(3),
+                    site: SiteId::new(10),
+                },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown task"));
+    }
+
+    #[test]
+    fn sites_deduplicates_in_order() {
+        let job = two_task_job();
+        let plan = ConcretePlan::new(
+            PlanId::new(1),
+            job,
+            vec![
+                TaskAssignment {
+                    task: TaskId::new(1),
+                    site: SiteId::new(5),
+                },
+                TaskAssignment {
+                    task: TaskId::new(2),
+                    site: SiteId::new(5),
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(plan.sites(), vec![SiteId::new(5)]);
+    }
+
+    #[test]
+    fn reassignment_bumps_revision() {
+        let job = two_task_job();
+        let plan = ConcretePlan::new(
+            PlanId::new(1),
+            job,
+            vec![
+                TaskAssignment {
+                    task: TaskId::new(1),
+                    site: SiteId::new(5),
+                },
+                TaskAssignment {
+                    task: TaskId::new(2),
+                    site: SiteId::new(5),
+                },
+            ],
+        )
+        .unwrap();
+        let moved = plan.reassigned(TaskId::new(2), SiteId::new(9)).unwrap();
+        assert_eq!(moved.site_of(TaskId::new(2)), Some(SiteId::new(9)));
+        assert_eq!(moved.revision, 1);
+        // Original untouched.
+        assert_eq!(plan.site_of(TaskId::new(2)), Some(SiteId::new(5)));
+        assert!(plan.reassigned(TaskId::new(42), SiteId::new(9)).is_err());
+    }
+
+    #[test]
+    fn abstract_plan_site_restriction() {
+        let p = AbstractPlan::new(two_task_job())
+            .with_preference(OptimizationPreference::Cheap)
+            .restricted_to(vec![SiteId::new(1)]);
+        assert!(p.site_allowed(SiteId::new(1)));
+        assert!(!p.site_allowed(SiteId::new(2)));
+        assert_eq!(p.preference, OptimizationPreference::Cheap);
+        let open = AbstractPlan::new(two_task_job());
+        assert!(open.site_allowed(SiteId::new(77)));
+        assert_eq!(open.preference, OptimizationPreference::Fast);
+    }
+
+    #[test]
+    fn preference_display() {
+        assert_eq!(OptimizationPreference::Fast.to_string(), "fast");
+        assert_eq!(OptimizationPreference::Cheap.to_string(), "cheap");
+    }
+}

@@ -1,0 +1,343 @@
+//! Job and task lifecycle states, with a validated transition table.
+//!
+//! The steering service's Command Processor (§4.2.2) only accepts
+//! commands that are legal in the current state; the table here is the
+//! single source of truth used by the execution service, the job
+//! monitoring service, and the steering service alike.
+
+use crate::error::GaeError;
+use std::fmt;
+
+/// Lifecycle state of a single task on an execution service.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TaskStatus {
+    /// Accepted by the scheduler, not yet enqueued anywhere.
+    Pending,
+    /// In an execution-service queue, waiting for a free slot.
+    Queued,
+    /// Occupying a slot and accruing wall-clock time.
+    Running,
+    /// Paused by a steering command; keeps its slot state but accrues
+    /// no wall-clock time.
+    Suspended,
+    /// Being moved to another site by the steering service.
+    Migrating,
+    /// Finished successfully.
+    Completed,
+    /// Terminated with an error (or its execution service died).
+    Failed,
+    /// Killed by a steering command.
+    Killed,
+}
+
+/// Aggregate lifecycle state of a job (a DAG of tasks).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum JobStatus {
+    /// Submitted, no task has started yet.
+    Pending,
+    /// At least one task queued or running, none failed/killed.
+    Active,
+    /// All tasks suspended by the user.
+    Suspended,
+    /// Every task completed successfully.
+    Completed,
+    /// At least one task failed and recovery is not possible.
+    Failed,
+    /// Killed by the user.
+    Killed,
+}
+
+impl TaskStatus {
+    /// True once the task can never run again.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            TaskStatus::Completed | TaskStatus::Failed | TaskStatus::Killed
+        )
+    }
+
+    /// True while the task occupies or will occupy execution resources.
+    pub fn is_live(self) -> bool {
+        !self.is_terminal()
+    }
+
+    /// Whether a transition from `self` to `next` is legal.
+    ///
+    /// The table encodes the paper's command set: kill/pause/resume/
+    /// move plus the natural queue→run→complete flow and failure at
+    /// any live point.
+    pub fn can_transition(self, next: TaskStatus) -> bool {
+        use TaskStatus::*;
+        match (self, next) {
+            // Natural forward flow.
+            (Pending, Queued) => true,
+            (Queued, Running) => true,
+            (Running, Completed) => true,
+            // Steering commands.
+            (Running, Suspended) | (Queued, Suspended) => true,
+            (Suspended, Running) | (Suspended, Queued) => true,
+            (Running, Migrating) | (Queued, Migrating) | (Suspended, Migrating) => true,
+            (Migrating, Queued) => true,
+            // Kill is legal from any live state.
+            (s, Killed) if s.is_live() => true,
+            // Failure can strike any live state.
+            (s, Failed) if s.is_live() => true,
+            // Re-queue after an execution-service failure (Backup &
+            // Recovery resubmission, §4.2.4).
+            (Failed, Queued) => true,
+            // Vacated by priority preemption (Condor semantics): the
+            // job loses its slot and returns to the queue.
+            (Running, Queued) => true,
+            _ => false,
+        }
+    }
+
+    /// Validates a transition, producing the canonical error.
+    pub fn transition(self, next: TaskStatus, entity: &str) -> Result<TaskStatus, GaeError> {
+        if self.can_transition(next) {
+            Ok(next)
+        } else {
+            Err(GaeError::InvalidTransition {
+                entity: entity.to_string(),
+                from: self.to_string(),
+                attempted: format!("enter {next}"),
+            })
+        }
+    }
+}
+
+impl JobStatus {
+    /// True once the job can never make further progress.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobStatus::Completed | JobStatus::Failed | JobStatus::Killed
+        )
+    }
+
+    /// Derives the aggregate job status from its tasks' statuses.
+    ///
+    /// Precedence: killed > failed > suspended-everywhere > active >
+    /// completed-everywhere > pending.
+    pub fn derive<I: IntoIterator<Item = TaskStatus>>(tasks: I) -> JobStatus {
+        let mut any = false;
+        let mut all_completed = true;
+        let mut all_suspended_or_terminal = true;
+        let mut any_live = false;
+        let mut any_started = false;
+        for t in tasks {
+            any = true;
+            if t != TaskStatus::Completed {
+                all_completed = false;
+            }
+            if !matches!(t, TaskStatus::Suspended) && t.is_live() {
+                all_suspended_or_terminal = false;
+            }
+            if t.is_live() {
+                any_live = true;
+                if t != TaskStatus::Pending {
+                    any_started = true;
+                }
+            }
+            match t {
+                TaskStatus::Killed => return JobStatus::Killed,
+                TaskStatus::Failed => return JobStatus::Failed,
+                _ => {}
+            }
+        }
+        if !any {
+            return JobStatus::Pending;
+        }
+        if all_completed {
+            JobStatus::Completed
+        } else if any_live && all_suspended_or_terminal {
+            JobStatus::Suspended
+        } else if any_started {
+            JobStatus::Active
+        } else {
+            JobStatus::Pending
+        }
+    }
+}
+
+impl fmt::Display for TaskStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TaskStatus::Pending => "pending",
+            TaskStatus::Queued => "queued",
+            TaskStatus::Running => "running",
+            TaskStatus::Suspended => "suspended",
+            TaskStatus::Migrating => "migrating",
+            TaskStatus::Completed => "completed",
+            TaskStatus::Failed => "failed",
+            TaskStatus::Killed => "killed",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JobStatus::Pending => "pending",
+            JobStatus::Active => "active",
+            JobStatus::Suspended => "suspended",
+            JobStatus::Completed => "completed",
+            JobStatus::Failed => "failed",
+            JobStatus::Killed => "killed",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for TaskStatus {
+    type Err = GaeError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "pending" => TaskStatus::Pending,
+            "queued" => TaskStatus::Queued,
+            "running" => TaskStatus::Running,
+            "suspended" => TaskStatus::Suspended,
+            "migrating" => TaskStatus::Migrating,
+            "completed" => TaskStatus::Completed,
+            "failed" => TaskStatus::Failed,
+            "killed" => TaskStatus::Killed,
+            other => return Err(GaeError::Parse(format!("unknown task status {other:?}"))),
+        })
+    }
+}
+
+impl std::str::FromStr for JobStatus {
+    type Err = GaeError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "pending" => JobStatus::Pending,
+            "active" => JobStatus::Active,
+            "suspended" => JobStatus::Suspended,
+            "completed" => JobStatus::Completed,
+            "failed" => JobStatus::Failed,
+            "killed" => JobStatus::Killed,
+            other => return Err(GaeError::Parse(format!("unknown job status {other:?}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::str::FromStr;
+    use TaskStatus::*;
+
+    #[test]
+    fn natural_flow_is_legal() {
+        assert!(Pending.can_transition(Queued));
+        assert!(Queued.can_transition(Running));
+        assert!(Running.can_transition(Completed));
+    }
+
+    #[test]
+    fn preemption_vacate_is_legal() {
+        assert!(Running.can_transition(Queued));
+        assert!(!Suspended.can_transition(Completed));
+    }
+
+    #[test]
+    fn steering_commands_are_legal() {
+        assert!(Running.can_transition(Suspended));
+        assert!(Suspended.can_transition(Running));
+        assert!(Running.can_transition(Migrating));
+        assert!(Migrating.can_transition(Queued));
+        assert!(Running.can_transition(Killed));
+        assert!(Queued.can_transition(Killed));
+    }
+
+    #[test]
+    fn terminal_states_are_sticky() {
+        for terminal in [Completed, Killed] {
+            for next in [
+                Pending, Queued, Running, Suspended, Migrating, Completed, Failed, Killed,
+            ] {
+                assert!(
+                    !terminal.can_transition(next),
+                    "{terminal:?} -> {next:?} should be illegal"
+                );
+            }
+        }
+        // Failed is special: Backup & Recovery may re-queue it.
+        assert!(Failed.can_transition(Queued));
+        assert!(!Failed.can_transition(Running));
+    }
+
+    #[test]
+    fn illegal_transition_error_mentions_entity() {
+        let err = Completed.transition(Running, "task-9").unwrap_err();
+        match err {
+            GaeError::InvalidTransition { entity, .. } => assert_eq!(entity, "task-9"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skipping_queue_is_illegal() {
+        assert!(!Pending.can_transition(Running));
+        assert!(!Pending.can_transition(Completed));
+    }
+
+    #[test]
+    fn derive_empty_is_pending() {
+        assert_eq!(JobStatus::derive([]), JobStatus::Pending);
+    }
+
+    #[test]
+    fn derive_all_completed() {
+        assert_eq!(
+            JobStatus::derive([Completed, Completed]),
+            JobStatus::Completed
+        );
+    }
+
+    #[test]
+    fn derive_failure_dominates() {
+        assert_eq!(
+            JobStatus::derive([Completed, Failed, Running]),
+            JobStatus::Failed
+        );
+        assert_eq!(JobStatus::derive([Killed, Running]), JobStatus::Killed);
+    }
+
+    #[test]
+    fn derive_active_and_suspended() {
+        assert_eq!(JobStatus::derive([Running, Queued]), JobStatus::Active);
+        assert_eq!(
+            JobStatus::derive([Suspended, Suspended]),
+            JobStatus::Suspended
+        );
+        assert_eq!(
+            JobStatus::derive([Suspended, Completed]),
+            JobStatus::Suspended
+        );
+        assert_eq!(JobStatus::derive([Pending, Pending]), JobStatus::Pending);
+        assert_eq!(JobStatus::derive([Pending, Queued]), JobStatus::Active);
+    }
+
+    #[test]
+    fn status_string_roundtrip() {
+        for s in [
+            Pending, Queued, Running, Suspended, Migrating, Completed, Failed, Killed,
+        ] {
+            assert_eq!(TaskStatus::from_str(&s.to_string()).unwrap(), s);
+        }
+        for s in [
+            JobStatus::Pending,
+            JobStatus::Active,
+            JobStatus::Suspended,
+            JobStatus::Completed,
+            JobStatus::Failed,
+            JobStatus::Killed,
+        ] {
+            assert_eq!(JobStatus::from_str(&s.to_string()).unwrap(), s);
+        }
+        assert!(TaskStatus::from_str("zombie").is_err());
+        assert!(JobStatus::from_str("zombie").is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! RFC 4648 base64, implemented from scratch for the `<base64>` type.
+
+use gae_types::GaeError;
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes `data` as standard base64 with `=` padding.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+fn decode_sym(c: u8) -> Option<u32> {
+    match c {
+        b'A'..=b'Z' => Some((c - b'A') as u32),
+        b'a'..=b'z' => Some((c - b'a') as u32 + 26),
+        b'0'..=b'9' => Some((c - b'0') as u32 + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decodes standard base64. Interior ASCII whitespace is tolerated
+/// (XML pretty-printers may wrap base64 payloads); anything else
+/// malformed is an error.
+pub fn decode(text: &str) -> Result<Vec<u8>, GaeError> {
+    let mut syms: Vec<u8> = Vec::with_capacity(text.len());
+    let mut padding = 0usize;
+    for &b in text.as_bytes() {
+        if b.is_ascii_whitespace() {
+            continue;
+        }
+        if b == b'=' {
+            padding += 1;
+            continue;
+        }
+        if padding > 0 {
+            return Err(GaeError::Parse("base64: data after padding".into()));
+        }
+        syms.push(b);
+    }
+    if padding > 2 {
+        return Err(GaeError::Parse("base64: too much padding".into()));
+    }
+    if !(syms.len() + padding).is_multiple_of(4) {
+        return Err(GaeError::Parse("base64: length not a multiple of 4".into()));
+    }
+    // With padding accounted for, the final group must have 2 or 3 symbols.
+    let rem = syms.len() % 4;
+    if (rem == 0 && padding != 0) || (rem != 0 && 4 - rem != padding) || rem == 1 {
+        return Err(GaeError::Parse("base64: inconsistent padding".into()));
+    }
+    let mut out = Vec::with_capacity(syms.len() * 3 / 4);
+    for group in syms.chunks(4) {
+        let mut n: u32 = 0;
+        for (i, &s) in group.iter().enumerate() {
+            let v = decode_sym(s).ok_or_else(|| {
+                GaeError::Parse(format!("base64: invalid symbol {:?}", s as char))
+            })?;
+            n |= v << (18 - 6 * i);
+        }
+        out.push((n >> 16) as u8);
+        if group.len() > 2 {
+            out.push((n >> 8) as u8);
+        }
+        if group.len() > 3 {
+            out.push(n as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        // Test vectors straight from RFC 4648 §10.
+        let vectors = [
+            ("", ""),
+            ("f", "Zg=="),
+            ("fo", "Zm8="),
+            ("foo", "Zm9v"),
+            ("foob", "Zm9vYg=="),
+            ("fooba", "Zm9vYmE="),
+            ("foobar", "Zm9vYmFy"),
+        ];
+        for (plain, enc) in vectors {
+            assert_eq!(encode(plain.as_bytes()), enc);
+            assert_eq!(decode(enc).unwrap(), plain.as_bytes());
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        assert_eq!(decode("Zm9v\nYmFy").unwrap(), b"foobar");
+        assert_eq!(decode("  Zm9v  ").unwrap(), b"foo");
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(decode("Zm9v!").is_err());
+        assert!(decode("Zg=").is_err());
+        assert!(decode("Zg===").is_err());
+        assert!(decode("Z===").is_err());
+        assert!(decode("Zg==Zg==").is_err(), "data after padding");
+        assert!(decode("A").is_err());
+    }
+
+    #[test]
+    fn binary_data() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(data in prop::collection::vec(any::<u8>(), 0..256)) {
+            prop_assert_eq!(decode(&encode(&data)).unwrap(), data);
+        }
+
+        #[test]
+        fn decode_never_panics(s in ".*") {
+            let _ = decode(&s);
+        }
+    }
+}

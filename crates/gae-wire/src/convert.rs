@@ -1,0 +1,254 @@
+//! Ergonomic conversions between Rust types and XML-RPC [`Value`]s.
+//!
+//! [`ToValue`] / [`FromValue`] cover the primitives, strings, bytes,
+//! `Option` (↔ `<nil/>`), `Vec` (↔ `<array>`) and string-keyed maps
+//! (↔ `<struct>`), so service code can move whole data structures
+//! across the wire without hand-rolling member plumbing:
+//!
+//! ```
+//! use gae_wire::convert::{FromValue, ToValue};
+//! use std::collections::BTreeMap;
+//!
+//! let sites: BTreeMap<String, Vec<i64>> =
+//!     BTreeMap::from([("caltech".to_string(), vec![1, 2, 3])]);
+//! let wire = sites.to_value();
+//! let back = BTreeMap::<String, Vec<i64>>::from_value(&wire).unwrap();
+//! assert_eq!(back, sites);
+//! ```
+
+use crate::datetime::DateTime;
+use crate::value::Value;
+use gae_types::GaeResult;
+use std::collections::{BTreeMap, HashMap};
+
+/// Types encodable as an XML-RPC value.
+pub trait ToValue {
+    /// Encodes `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types decodable from an XML-RPC value.
+pub trait FromValue: Sized {
+    /// Decodes, with a typed parse error on mismatch.
+    fn from_value(v: &Value) -> GaeResult<Self>;
+}
+
+macro_rules! impl_via {
+    ($ty:ty, $to:expr, $from:ident) => {
+        impl ToValue for $ty {
+            fn to_value(&self) -> Value {
+                #[allow(clippy::redundant_closure_call)]
+                $to(self)
+            }
+        }
+        impl FromValue for $ty {
+            fn from_value(v: &Value) -> GaeResult<Self> {
+                v.$from().map(|x| x as $ty)
+            }
+        }
+    };
+}
+
+impl_via!(i32, |s: &i32| Value::Int(*s), as_i32);
+impl_via!(i64, |s: &i64| Value::Int64(*s), as_i64);
+impl_via!(u32, |s: &u32| Value::Int64(i64::from(*s)), as_u64);
+impl_via!(u64, |s: &u64| Value::from(*s), as_u64);
+impl_via!(f64, |s: &f64| Value::Double(*s), as_f64);
+impl_via!(bool, |s: &bool| Value::Bool(*s), as_bool);
+
+impl ToValue for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl FromValue for String {
+    fn from_value(v: &Value) -> GaeResult<Self> {
+        v.as_str().map(str::to_string)
+    }
+}
+
+impl ToValue for &str {
+    fn to_value(&self) -> Value {
+        Value::String((*self).to_string())
+    }
+}
+
+impl ToValue for DateTime {
+    fn to_value(&self) -> Value {
+        Value::DateTime(*self)
+    }
+}
+impl FromValue for DateTime {
+    fn from_value(v: &Value) -> GaeResult<Self> {
+        v.as_datetime()
+    }
+}
+
+impl ToValue for Vec<u8> {
+    fn to_value(&self) -> Value {
+        Value::Base64(self.clone())
+    }
+}
+impl FromValue for Vec<u8> {
+    fn from_value(v: &Value) -> GaeResult<Self> {
+        v.as_bytes().map(<[u8]>::to_vec)
+    }
+}
+
+impl<T: ToValue> ToValue for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Nil,
+        }
+    }
+}
+impl<T: FromValue> FromValue for Option<T> {
+    fn from_value(v: &Value) -> GaeResult<Self> {
+        if v.is_nil() {
+            Ok(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+}
+
+// Vec<T> for every T except u8 would conflict with the Vec<u8>
+// impl, so collections go through a newtype-free helper pair instead.
+
+/// Encodes a slice as an `<array>`.
+pub fn slice_to_value<T: ToValue>(items: &[T]) -> Value {
+    Value::Array(items.iter().map(ToValue::to_value).collect())
+}
+
+/// Decodes an `<array>` into a `Vec`.
+pub fn vec_from_value<T: FromValue>(v: &Value) -> GaeResult<Vec<T>> {
+    v.as_array()?.iter().map(T::from_value).collect()
+}
+
+impl<T: ToValue> ToValue for Vec<T>
+where
+    T: NotByte,
+{
+    fn to_value(&self) -> Value {
+        slice_to_value(self)
+    }
+}
+impl<T: FromValue + NotByte> FromValue for Vec<T> {
+    fn from_value(v: &Value) -> GaeResult<Self> {
+        vec_from_value(v)
+    }
+}
+
+/// Marker excluding `u8` so `Vec<u8>` keeps its `<base64>` encoding.
+pub trait NotByte {}
+impl NotByte for i32 {}
+impl NotByte for i64 {}
+impl NotByte for u32 {}
+impl NotByte for u64 {}
+impl NotByte for f64 {}
+impl NotByte for bool {}
+impl NotByte for String {}
+impl NotByte for DateTime {}
+impl<T> NotByte for Option<T> {}
+impl<T> NotByte for Vec<T> {}
+impl<V> NotByte for BTreeMap<String, V> {}
+impl<V> NotByte for HashMap<String, V> {}
+
+impl<V: ToValue> ToValue for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Struct(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<V: FromValue> FromValue for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> GaeResult<Self> {
+        v.as_struct()?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: ToValue> ToValue for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Struct(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<V: FromValue> FromValue for HashMap<String, V> {
+    fn from_value(v: &Value) -> GaeResult<Self> {
+        v.as_struct()?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: ToValue + FromValue + PartialEq + std::fmt::Debug>(x: T) {
+        let v = x.to_value();
+        assert_eq!(T::from_value(&v).unwrap(), x);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(42i32);
+        roundtrip(-1i64);
+        roundtrip(7u32);
+        roundtrip(u64::from(u32::MAX) + 1);
+        roundtrip(2.5f64);
+        roundtrip(true);
+        roundtrip("hello".to_string());
+        roundtrip(DateTime::parse("20050614T12:00:00").unwrap());
+    }
+
+    #[test]
+    fn bytes_use_base64() {
+        let bytes: Vec<u8> = vec![0, 1, 255];
+        assert!(matches!(bytes.to_value(), Value::Base64(_)));
+        roundtrip(bytes);
+    }
+
+    #[test]
+    fn options_map_to_nil() {
+        roundtrip(Some(3i32));
+        roundtrip(Option::<i32>::None);
+        assert!(Option::<i32>::None.to_value().is_nil());
+    }
+
+    #[test]
+    fn collections_nest() {
+        roundtrip(vec![1i64, 2, 3]);
+        roundtrip(vec![vec!["a".to_string()], vec![]]);
+        let map: BTreeMap<String, Vec<i64>> =
+            BTreeMap::from([("x".into(), vec![1, 2]), ("y".into(), vec![])]);
+        roundtrip(map);
+        let hash: HashMap<String, bool> = HashMap::from([("on".into(), true)]);
+        let v = hash.to_value();
+        assert_eq!(HashMap::<String, bool>::from_value(&v).unwrap(), hash);
+    }
+
+    #[test]
+    fn type_mismatch_is_error() {
+        assert!(i32::from_value(&Value::from("x")).is_err());
+        assert!(Vec::<i64>::from_value(&Value::Int(1)).is_err());
+        assert!(BTreeMap::<String, i64>::from_value(&Value::Array(vec![])).is_err());
+        assert!(Option::<i32>::from_value(&Value::from("x")).is_err());
+    }
+
+    #[test]
+    fn mixed_array_fails_cleanly() {
+        let v = Value::Array(vec![Value::Int(1), Value::from("two")]);
+        assert!(Vec::<i64>::from_value(&v).is_err());
+    }
+}

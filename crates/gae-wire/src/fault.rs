@@ -1,0 +1,69 @@
+//! XML-RPC faults and their bridge to [`GaeError`].
+
+use gae_types::GaeError;
+use std::fmt;
+
+/// An XML-RPC fault: `faultCode` + `faultString`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Fault {
+    /// Numeric fault code; the GAE uses [`GaeError::fault_code`].
+    pub code: i32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Fault {
+    /// Builds a fault.
+    pub fn new(code: i32, message: impl Into<String>) -> Self {
+        Fault {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Encodes a GAE error as a wire fault.
+    pub fn from_error(e: &GaeError) -> Fault {
+        Fault {
+            code: e.fault_code(),
+            message: e.to_string(),
+        }
+    }
+
+    /// Decodes a wire fault into the closest GAE error.
+    pub fn into_error(self) -> GaeError {
+        GaeError::from_fault(self.code, self.message)
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault {}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bridges_gae_errors() {
+        let e = GaeError::NotFound("job-1".into());
+        let f = Fault::from_error(&e);
+        assert_eq!(f.code, 404);
+        assert!(f.message.contains("job-1"));
+        assert!(matches!(f.into_error(), GaeError::NotFound(_)));
+    }
+
+    #[test]
+    fn unknown_codes_stay_rpc() {
+        let f = Fault::new(-32601, "method not found");
+        assert!(matches!(f.into_error(), GaeError::Rpc { code: -32601, .. }));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Fault::new(1, "x").to_string(), "fault 1: x");
+    }
+}

@@ -1,0 +1,369 @@
+//! A small, strict tokenizer for the XML subset XML-RPC uses.
+//!
+//! Handles start/end/empty tags (attributes are parsed and discarded —
+//! XML-RPC does not use them), character data with entity references,
+//! numeric character references, CDATA sections, comments, processing
+//! instructions and the XML declaration. It does **not** implement
+//! namespaces, DTDs, or encodings other than UTF-8, none of which
+//! appear on an XML-RPC wire.
+//!
+//! One deliberate extension: numeric character references may encode
+//! *any* Unicode scalar value (including control characters), and the
+//! writer escapes control characters that strict XML 1.0 would forbid.
+//! This keeps the codec round-trip exact for arbitrary Rust strings.
+
+use gae_types::{GaeError, GaeResult};
+use std::borrow::Cow;
+
+/// One XML token.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Token<'a> {
+    /// `<name ...>`
+    Open(&'a str),
+    /// `</name>`
+    Close(&'a str),
+    /// `<name ... />`
+    Empty(&'a str),
+    /// Character data with entities resolved. Adjacent runs (e.g.
+    /// around a CDATA section) are emitted as separate tokens.
+    Text(Cow<'a, str>),
+}
+
+impl Token<'_> {
+    /// True if this is a Text token consisting only of whitespace.
+    pub fn is_whitespace(&self) -> bool {
+        matches!(self, Token::Text(t) if t.chars().all(|c| c.is_whitespace()))
+    }
+}
+
+/// Streaming lexer over a UTF-8 XML document.
+pub struct Lexer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Lexer { input, pos: 0 }
+    }
+
+    /// Byte offset of the lexer, for error messages.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn err(&self, msg: impl Into<String>) -> GaeError {
+        GaeError::Parse(format!("xml at byte {}: {}", self.pos, msg.into()))
+    }
+
+    /// Produces the next token, or `None` at end of input.
+    pub fn next_token(&mut self) -> GaeResult<Option<Token<'a>>> {
+        loop {
+            if self.pos >= self.input.len() {
+                return Ok(None);
+            }
+            let rest = self.rest();
+            if let Some(stripped) = rest.strip_prefix("<!--") {
+                let end = stripped
+                    .find("-->")
+                    .ok_or_else(|| self.err("unterminated comment"))?;
+                self.pos += 4 + end + 3;
+                continue;
+            }
+            if let Some(body) = rest.strip_prefix("<![CDATA[") {
+                let end = body
+                    .find("]]>")
+                    .ok_or_else(|| self.err("unterminated CDATA section"))?;
+                let text = &body[..end];
+                self.pos += 9 + end + 3;
+                if text.is_empty() {
+                    continue;
+                }
+                return Ok(Some(Token::Text(Cow::Borrowed(text))));
+            }
+            if rest.starts_with("<?") {
+                let end = rest
+                    .find("?>")
+                    .ok_or_else(|| self.err("unterminated declaration"))?;
+                self.pos += end + 2;
+                continue;
+            }
+            if rest.starts_with("<!") {
+                // DOCTYPE or similar: skip to the matching '>'.
+                let end = rest
+                    .find('>')
+                    .ok_or_else(|| self.err("unterminated <! markup"))?;
+                self.pos += end + 1;
+                continue;
+            }
+            if let Some(after) = rest.strip_prefix("</") {
+                let end = after
+                    .find('>')
+                    .ok_or_else(|| self.err("unterminated end tag"))?;
+                let name = after[..end].trim();
+                if name.is_empty() {
+                    return Err(self.err("empty end-tag name"));
+                }
+                self.pos += 2 + end + 1;
+                return Ok(Some(Token::Close(name)));
+            }
+            if rest.starts_with('<') {
+                return self.lex_start_tag();
+            }
+            // Character data up to the next '<'.
+            let end = rest.find('<').unwrap_or(rest.len());
+            let raw = &rest[..end];
+            self.pos += end;
+            let decoded =
+                decode_entities(raw).map_err(|e| GaeError::Parse(format!("xml text: {e}")))?;
+            return Ok(Some(Token::Text(decoded)));
+        }
+    }
+
+    fn lex_start_tag(&mut self) -> GaeResult<Option<Token<'a>>> {
+        let rest = self.rest();
+        debug_assert!(rest.starts_with('<'));
+        let body = &rest[1..];
+        // Find the closing '>', honouring quoted attribute values.
+        let bytes = body.as_bytes();
+        let mut i = 0usize;
+        let mut quote: Option<u8> = None;
+        let close = loop {
+            if i >= bytes.len() {
+                return Err(self.err("unterminated start tag"));
+            }
+            match (quote, bytes[i]) {
+                (None, b'"') | (None, b'\'') => quote = Some(bytes[i]),
+                (Some(q), c) if c == q => quote = None,
+                (None, b'>') => break i,
+                _ => {}
+            }
+            i += 1;
+        };
+        let inner = &body[..close];
+        let (inner, empty) = match inner.strip_suffix('/') {
+            Some(trimmed) => (trimmed, true),
+            None => (inner, false),
+        };
+        let name_end = inner
+            .find(|c: char| c.is_whitespace())
+            .unwrap_or(inner.len());
+        let name = &inner[..name_end];
+        if name.is_empty() {
+            return Err(self.err("empty start-tag name"));
+        }
+        self.pos += 1 + close + 1;
+        Ok(Some(if empty {
+            Token::Empty(name)
+        } else {
+            Token::Open(name)
+        }))
+    }
+}
+
+/// Resolves the five predefined entities and numeric character
+/// references in `raw`.
+pub fn decode_entities(raw: &str) -> Result<Cow<'_, str>, String> {
+    if !raw.contains('&') {
+        return Ok(Cow::Borrowed(raw));
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let semi = rest
+            .find(';')
+            .ok_or_else(|| "unterminated entity".to_string())?;
+        let ent = &rest[1..semi];
+        match ent {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ => {
+                let cp = if let Some(hex) = ent.strip_prefix("#x").or(ent.strip_prefix("#X")) {
+                    u32::from_str_radix(hex, 16).map_err(|_| format!("bad entity &{ent};"))?
+                } else if let Some(dec) = ent.strip_prefix('#') {
+                    dec.parse::<u32>()
+                        .map_err(|_| format!("bad entity &{ent};"))?
+                } else {
+                    return Err(format!("unknown entity &{ent};"));
+                };
+                out.push(char::from_u32(cp).ok_or_else(|| format!("invalid codepoint &#{cp};"))?);
+            }
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(Cow::Owned(out))
+}
+
+/// Escapes character data for emission inside an element.
+///
+/// Escapes `&`, `<`, `>` and every C0 control character (plus DEL) as
+/// numeric references so arbitrary Rust strings survive the wire.
+pub fn escape_text(text: &str) -> Cow<'_, str> {
+    if !text
+        .chars()
+        .any(|c| matches!(c, '&' | '<' | '>') || c.is_control())
+    {
+        return Cow::Borrowed(text);
+    }
+    let mut out = String::with_capacity(text.len() + 16);
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            c if c.is_control() => {
+                out.push_str("&#");
+                out.push_str(&(c as u32).to_string());
+                out.push(';');
+            }
+            c => out.push(c),
+        }
+    }
+    Cow::Owned(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_tokens(input: &str) -> Vec<Token<'_>> {
+        let mut lx = Lexer::new(input);
+        let mut out = Vec::new();
+        while let Some(t) = lx.next_token().unwrap() {
+            out.push(t);
+        }
+        out
+    }
+
+    #[test]
+    fn basic_tags_and_text() {
+        let toks = all_tokens("<a><b>hi</b></a>");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Open("a"),
+                Token::Open("b"),
+                Token::Text(Cow::Borrowed("hi")),
+                Token::Close("b"),
+                Token::Close("a"),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_tag_and_attributes_ignored() {
+        let toks = all_tokens(r#"<v kind="x y > z"><nil/></v>"#);
+        assert_eq!(
+            toks,
+            vec![Token::Open("v"), Token::Empty("nil"), Token::Close("v")]
+        );
+    }
+
+    #[test]
+    fn attribute_with_slash_then_empty() {
+        let toks = all_tokens(r#"<img src='a/b'/>"#);
+        assert_eq!(toks, vec![Token::Empty("img")]);
+    }
+
+    #[test]
+    fn declaration_comment_doctype_skipped() {
+        let toks = all_tokens("<?xml version=\"1.0\"?><!DOCTYPE methodCall><!-- hi --><a>x</a>");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Open("a"),
+                Token::Text(Cow::Borrowed("x")),
+                Token::Close("a")
+            ]
+        );
+    }
+
+    #[test]
+    fn cdata_is_literal() {
+        let toks = all_tokens("<a><![CDATA[<not> &amp; tags]]></a>");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Open("a"),
+                Token::Text(Cow::Borrowed("<not> &amp; tags")),
+                Token::Close("a")
+            ]
+        );
+    }
+
+    #[test]
+    fn entities_decoded() {
+        let toks = all_tokens("<a>&lt;&gt;&amp;&apos;&quot;&#65;&#x42;</a>");
+        assert_eq!(toks[1], Token::Text(Cow::Owned("<>&'\"AB".to_string())));
+    }
+
+    #[test]
+    fn bad_entities_rejected() {
+        assert!(Lexer::new("<a>&bogus;</a>")
+            .next_token()
+            .and_then(|_| Lexer::new("x").next_token())
+            .is_ok());
+        let mut lx = Lexer::new("&bogus;");
+        assert!(lx.next_token().is_err());
+        let mut lx = Lexer::new("&#xZZ;");
+        assert!(lx.next_token().is_err());
+        let mut lx = Lexer::new("&unterminated");
+        assert!(lx.next_token().is_err());
+        let mut lx = Lexer::new("&#1114112;"); // beyond char::MAX
+        assert!(lx.next_token().is_err());
+    }
+
+    #[test]
+    fn unterminated_markup_rejected() {
+        for bad in ["<a", "</a", "<!-- x", "<![CDATA[ x", "<?xml", "<!DOCTYPE x"] {
+            let mut lx = Lexer::new(bad);
+            assert!(lx.next_token().is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn empty_names_rejected() {
+        let mut lx = Lexer::new("<>");
+        assert!(lx.next_token().is_err());
+        let mut lx = Lexer::new("</>");
+        assert!(lx.next_token().is_err());
+    }
+
+    #[test]
+    fn escape_roundtrip_control_chars() {
+        let nasty = "a<b>&c\u{0}\u{1f}\u{7f}\r\n";
+        let escaped = escape_text(nasty);
+        let decoded = decode_entities(&escaped).unwrap();
+        assert_eq!(decoded, nasty);
+    }
+
+    #[test]
+    fn escape_borrows_when_clean() {
+        assert!(matches!(escape_text("plain text"), Cow::Borrowed(_)));
+        assert!(matches!(escape_text("a&b"), Cow::Owned(_)));
+    }
+
+    #[test]
+    fn whitespace_token_detection() {
+        assert!(Token::Text(Cow::Borrowed("  \n\t")).is_whitespace());
+        assert!(!Token::Text(Cow::Borrowed(" x ")).is_whitespace());
+        assert!(!Token::Open("a").is_whitespace());
+    }
+
+    #[test]
+    fn end_tag_with_whitespace() {
+        let toks = all_tokens("<a>x</a >");
+        assert_eq!(toks[2], Token::Close("a"));
+    }
+}

@@ -1,0 +1,565 @@
+//! The XML-RPC grammar on top of the [`lexer`](crate::lexer).
+
+use crate::base64;
+use crate::datetime::DateTime;
+use crate::fault::Fault;
+use crate::lexer::{Lexer, Token};
+use crate::value::{MethodCall, Response, Value};
+use gae_types::{GaeError, GaeResult};
+use std::collections::BTreeMap;
+
+/// Maximum element nesting depth accepted by the parser; guards
+/// against stack exhaustion from hostile inputs.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    peeked: Option<Token<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            lexer: Lexer::new(input),
+            peeked: None,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> GaeError {
+        GaeError::Parse(format!(
+            "xmlrpc at byte {}: {}",
+            self.lexer.offset(),
+            msg.into()
+        ))
+    }
+
+    fn next(&mut self) -> GaeResult<Option<Token<'a>>> {
+        if let Some(t) = self.peeked.take() {
+            return Ok(Some(t));
+        }
+        self.lexer.next_token()
+    }
+
+    /// Next token that is not whitespace-only text.
+    fn next_significant(&mut self) -> GaeResult<Option<Token<'a>>> {
+        loop {
+            match self.next()? {
+                Some(t) if t.is_whitespace() => continue,
+                other => return Ok(other),
+            }
+        }
+    }
+
+    fn put_back(&mut self, t: Token<'a>) {
+        debug_assert!(self.peeked.is_none());
+        self.peeked = Some(t);
+    }
+
+    fn expect_open(&mut self, name: &str) -> GaeResult<()> {
+        match self.next_significant()? {
+            Some(Token::Open(n)) if n == name => Ok(()),
+            Some(other) => Err(self.err(format!("expected <{name}>, got {other:?}"))),
+            None => Err(self.err(format!("expected <{name}>, got end of input"))),
+        }
+    }
+
+    fn expect_close(&mut self, name: &str) -> GaeResult<()> {
+        match self.next_significant()? {
+            Some(Token::Close(n)) if n == name => Ok(()),
+            Some(other) => Err(self.err(format!("expected </{name}>, got {other:?}"))),
+            None => Err(self.err(format!("expected </{name}>, got end of input"))),
+        }
+    }
+
+    /// Collects character data until `</name>`, concatenating adjacent
+    /// text runs (entities and CDATA arrive as separate tokens).
+    fn text_until_close(&mut self, name: &str) -> GaeResult<String> {
+        let mut out = String::new();
+        loop {
+            match self.next()? {
+                Some(Token::Text(t)) => out.push_str(&t),
+                Some(Token::Close(n)) if n == name => return Ok(out),
+                Some(other) => {
+                    return Err(self.err(format!("unexpected {other:?} inside <{name}>")))
+                }
+                None => return Err(self.err(format!("unterminated <{name}>"))),
+            }
+        }
+    }
+
+    /// Parses a `<value>...</value>` element (the opening tag not yet
+    /// consumed).
+    fn parse_value(&mut self, depth: usize) -> GaeResult<Value> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("value nesting too deep"));
+        }
+        match self.next_significant()? {
+            Some(Token::Open("value")) => {}
+            Some(Token::Empty("value")) => return Ok(Value::String(String::new())),
+            Some(other) => return Err(self.err(format!("expected <value>, got {other:?}"))),
+            None => return Err(self.err("expected <value>, got end of input")),
+        }
+        // Inspect what follows: bare text (default string), a typed
+        // element, or an immediate close (empty string).
+        match self.next()? {
+            Some(Token::Text(t)) => {
+                match self.next()? {
+                    Some(Token::Close("value")) => Ok(Value::String(t.into_owned())),
+                    Some(tok @ Token::Open(_)) | Some(tok @ Token::Empty(_)) => {
+                        // Whitespace before a typed element is
+                        // structural, anything else is malformed.
+                        if !t.chars().all(|c| c.is_whitespace()) {
+                            return Err(self.err("mixed text and element inside <value>"));
+                        }
+                        self.put_back(tok);
+                        let v = self.parse_typed(depth)?;
+                        self.expect_close("value")?;
+                        Ok(v)
+                    }
+                    Some(other) => Err(self.err(format!("unexpected {other:?} in <value>"))),
+                    None => Err(self.err("unterminated <value>")),
+                }
+            }
+            Some(Token::Close("value")) => Ok(Value::String(String::new())),
+            Some(tok @ Token::Open(_)) | Some(tok @ Token::Empty(_)) => {
+                self.put_back(tok);
+                let v = self.parse_typed(depth)?;
+                self.expect_close("value")?;
+                Ok(v)
+            }
+            Some(other) => Err(self.err(format!("unexpected {other:?} in <value>"))),
+            None => Err(self.err("unterminated <value>")),
+        }
+    }
+
+    /// Parses the typed element inside a `<value>`.
+    fn parse_typed(&mut self, depth: usize) -> GaeResult<Value> {
+        match self.next_significant()? {
+            Some(Token::Empty(name)) => match name {
+                "nil" | "ex:nil" => Ok(Value::Nil),
+                "string" => Ok(Value::String(String::new())),
+                "base64" => Ok(Value::Base64(Vec::new())),
+                "struct" => Ok(Value::empty_struct()),
+                "array" => Ok(Value::Array(Vec::new())),
+                other => Err(self.err(format!("empty element <{other}/> not a value type"))),
+            },
+            Some(Token::Open(name)) => match name {
+                "i4" | "int" => {
+                    let t = self.text_until_close(name)?;
+                    t.trim()
+                        .parse::<i32>()
+                        .map(Value::Int)
+                        .map_err(|_| self.err(format!("bad i4 {t:?}")))
+                }
+                "i8" | "ex:i8" => {
+                    let t = self.text_until_close(name)?;
+                    t.trim()
+                        .parse::<i64>()
+                        .map(Value::Int64)
+                        .map_err(|_| self.err(format!("bad i8 {t:?}")))
+                }
+                "boolean" => {
+                    let t = self.text_until_close(name)?;
+                    match t.trim() {
+                        "1" | "true" => Ok(Value::Bool(true)),
+                        "0" | "false" => Ok(Value::Bool(false)),
+                        other => Err(self.err(format!("bad boolean {other:?}"))),
+                    }
+                }
+                "string" => Ok(Value::String(self.text_until_close(name)?)),
+                "double" => {
+                    let t = self.text_until_close(name)?;
+                    let v = t
+                        .trim()
+                        .parse::<f64>()
+                        .map_err(|_| self.err(format!("bad double {t:?}")))?;
+                    if !v.is_finite() {
+                        return Err(self.err(format!("non-finite double {t:?}")));
+                    }
+                    Ok(Value::Double(v))
+                }
+                "dateTime.iso8601" => {
+                    let t = self.text_until_close(name)?;
+                    DateTime::parse(&t).map(Value::DateTime)
+                }
+                "base64" => {
+                    let t = self.text_until_close(name)?;
+                    base64::decode(&t).map(Value::Base64)
+                }
+                "struct" => self.parse_struct_body(depth),
+                "array" => self.parse_array_body(depth),
+                "nil" | "ex:nil" => {
+                    // Tolerate `<nil></nil>` alongside `<nil/>`.
+                    let t = self.text_until_close(name)?;
+                    if t.trim().is_empty() {
+                        Ok(Value::Nil)
+                    } else {
+                        Err(self.err("nil must be empty"))
+                    }
+                }
+                other => Err(self.err(format!("unknown value type <{other}>"))),
+            },
+            Some(other) => Err(self.err(format!("expected a typed element, got {other:?}"))),
+            None => Err(self.err("expected a typed element, got end of input")),
+        }
+    }
+
+    /// `<struct>` body after the opening tag.
+    fn parse_struct_body(&mut self, depth: usize) -> GaeResult<Value> {
+        let mut members = BTreeMap::new();
+        loop {
+            match self.next_significant()? {
+                Some(Token::Close("struct")) => return Ok(Value::Struct(members)),
+                Some(Token::Open("member")) => {
+                    self.expect_open("name")?;
+                    let name = self.text_until_close("name")?;
+                    let value = self.parse_value(depth + 1)?;
+                    self.expect_close("member")?;
+                    // Last occurrence wins, like every deployed
+                    // XML-RPC implementation.
+                    members.insert(name, value);
+                }
+                Some(other) => return Err(self.err(format!("expected <member>, got {other:?}"))),
+                None => return Err(self.err("unterminated <struct>")),
+            }
+        }
+    }
+
+    /// `<array>` body after the opening tag.
+    fn parse_array_body(&mut self, depth: usize) -> GaeResult<Value> {
+        match self.next_significant()? {
+            Some(Token::Open("data")) => {}
+            Some(Token::Empty("data")) => {
+                self.expect_close("array")?;
+                return Ok(Value::Array(Vec::new()));
+            }
+            Some(other) => return Err(self.err(format!("expected <data>, got {other:?}"))),
+            None => return Err(self.err("unterminated <array>")),
+        }
+        let mut items = Vec::new();
+        loop {
+            match self.next_significant()? {
+                Some(Token::Close("data")) => break,
+                Some(tok) => {
+                    self.put_back(tok);
+                    items.push(self.parse_value(depth + 1)?);
+                }
+                None => return Err(self.err("unterminated <data>")),
+            }
+        }
+        self.expect_close("array")?;
+        Ok(Value::Array(items))
+    }
+
+    /// Verifies only whitespace remains.
+    fn expect_end(&mut self) -> GaeResult<()> {
+        match self.next_significant()? {
+            None => Ok(()),
+            Some(t) => Err(self.err(format!("trailing content {t:?}"))),
+        }
+    }
+}
+
+fn as_utf8(bytes: &[u8]) -> GaeResult<&str> {
+    std::str::from_utf8(bytes)
+        .map_err(|e| GaeError::Parse(format!("request body is not UTF-8: {e}")))
+}
+
+/// Parses a standalone `<value>` document (inverse of
+/// [`crate::writer::write_value_document`]).
+pub fn parse_value_document(input: &str) -> GaeResult<Value> {
+    let mut p = Parser::new(input);
+    let v = p.parse_value(0)?;
+    p.expect_end()?;
+    Ok(v)
+}
+
+/// Parses a `methodCall` document.
+pub fn parse_call(body: &[u8]) -> GaeResult<MethodCall> {
+    let mut p = Parser::new(as_utf8(body)?);
+    p.expect_open("methodCall")?;
+    p.expect_open("methodName")?;
+    let name = p.text_until_close("methodName")?;
+    let name = name.trim().to_string();
+    if name.is_empty() {
+        return Err(GaeError::Parse("empty methodName".into()));
+    }
+    let mut params = Vec::new();
+    match p.next_significant()? {
+        Some(Token::Close("methodCall")) => {
+            p.expect_end()?;
+            return Ok(MethodCall { name, params });
+        }
+        Some(Token::Empty("params")) => {}
+        Some(Token::Open("params")) => loop {
+            match p.next_significant()? {
+                Some(Token::Close("params")) => break,
+                Some(Token::Open("param")) => {
+                    params.push(p.parse_value(0)?);
+                    p.expect_close("param")?;
+                }
+                Some(other) => return Err(p.err(format!("expected <param>, got {other:?}"))),
+                None => return Err(p.err("unterminated <params>")),
+            }
+        },
+        Some(other) => return Err(p.err(format!("expected <params>, got {other:?}"))),
+        None => return Err(p.err("unterminated <methodCall>")),
+    }
+    p.expect_close("methodCall")?;
+    p.expect_end()?;
+    Ok(MethodCall { name, params })
+}
+
+/// Parses a `methodResponse` document.
+pub fn parse_response(body: &[u8]) -> GaeResult<Response> {
+    let mut p = Parser::new(as_utf8(body)?);
+    p.expect_open("methodResponse")?;
+    let resp = match p.next_significant()? {
+        Some(Token::Open("params")) => {
+            p.expect_open("param")?;
+            let v = p.parse_value(0)?;
+            p.expect_close("param")?;
+            p.expect_close("params")?;
+            Response::Success(v)
+        }
+        Some(Token::Open("fault")) => {
+            let v = p.parse_value(0)?;
+            p.expect_close("fault")?;
+            let code = v.member("faultCode")?.as_i32()?;
+            let message = v.member("faultString")?.as_str()?.to_string();
+            Response::Fault(Fault { code, message })
+        }
+        Some(other) => return Err(p.err(format!("expected <params> or <fault>, got {other:?}"))),
+        None => return Err(p.err("unterminated <methodResponse>")),
+    };
+    p.expect_close("methodResponse")?;
+    p.expect_end()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_example_call() {
+        // The canonical example from the XML-RPC specification.
+        let xml = br#"<?xml version="1.0"?>
+<methodCall>
+   <methodName>examples.getStateName</methodName>
+   <params>
+      <param>
+         <value><i4>41</i4></value>
+         </param>
+      </params>
+   </methodCall>"#;
+        let call = parse_call(xml).unwrap();
+        assert_eq!(call.name, "examples.getStateName");
+        assert_eq!(call.params, vec![Value::Int(41)]);
+    }
+
+    #[test]
+    fn spec_example_fault() {
+        let xml = br#"<?xml version="1.0"?>
+<methodResponse>
+   <fault>
+      <value>
+         <struct>
+            <member><name>faultCode</name><value><int>4</int></value></member>
+            <member><name>faultString</name><value><string>Too many parameters.</string></value></member>
+            </struct>
+         </value>
+      </fault>
+   </methodResponse>"#;
+        match parse_response(xml).unwrap() {
+            Response::Fault(f) => {
+                assert_eq!(f.code, 4);
+                assert_eq!(f.message, "Too many parameters.");
+            }
+            other => panic!("expected fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_text_is_string() {
+        assert_eq!(
+            parse_value_document("<value>hello world</value>").unwrap(),
+            Value::from("hello world")
+        );
+        assert_eq!(
+            parse_value_document("<value></value>").unwrap(),
+            Value::from("")
+        );
+        assert_eq!(parse_value_document("<value/>").unwrap(), Value::from(""));
+    }
+
+    #[test]
+    fn bare_text_preserves_whitespace() {
+        assert_eq!(
+            parse_value_document("<value>  x  </value>").unwrap(),
+            Value::from("  x  ")
+        );
+    }
+
+    #[test]
+    fn int_aliases() {
+        assert_eq!(
+            parse_value_document("<value><int>7</int></value>").unwrap(),
+            Value::Int(7)
+        );
+        assert_eq!(
+            parse_value_document("<value><i4>7</i4></value>").unwrap(),
+            Value::Int(7)
+        );
+        assert_eq!(
+            parse_value_document("<value><ex:i8>7</ex:i8></value>").unwrap(),
+            Value::Int64(7)
+        );
+    }
+
+    #[test]
+    fn boolean_forms() {
+        assert_eq!(
+            parse_value_document("<value><boolean>1</boolean></value>").unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            parse_value_document("<value><boolean>false</boolean></value>").unwrap(),
+            Value::Bool(false)
+        );
+        assert!(parse_value_document("<value><boolean>2</boolean></value>").is_err());
+    }
+
+    #[test]
+    fn nested_struct_and_array() {
+        let xml = "<value><struct>\
+                   <member><name>jobs</name><value><array><data>\
+                   <value><i4>1</i4></value><value><i4>2</i4></value>\
+                   </data></array></value></member>\
+                   </struct></value>";
+        let v = parse_value_document(xml).unwrap();
+        let jobs = v.member("jobs").unwrap().as_array().unwrap();
+        assert_eq!(jobs.len(), 2);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(
+            parse_value_document("<value><struct></struct></value>").unwrap(),
+            Value::empty_struct()
+        );
+        assert_eq!(
+            parse_value_document("<value><struct/></value>").unwrap(),
+            Value::empty_struct()
+        );
+        assert_eq!(
+            parse_value_document("<value><array><data></data></array></value>").unwrap(),
+            Value::Array(vec![])
+        );
+        assert_eq!(
+            parse_value_document("<value><array><data/></array></value>").unwrap(),
+            Value::Array(vec![])
+        );
+    }
+
+    #[test]
+    fn nil_forms() {
+        assert_eq!(
+            parse_value_document("<value><nil/></value>").unwrap(),
+            Value::Nil
+        );
+        assert_eq!(
+            parse_value_document("<value><nil></nil></value>").unwrap(),
+            Value::Nil
+        );
+        assert!(parse_value_document("<value><nil>x</nil></value>").is_err());
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        for bad in [
+            "<value><i4>notanumber</i4></value>",
+            "<value><i4>99999999999999</i4></value>",
+            "<value><double>nan</double></value>",
+            "<value><double>inf</double></value>",
+            "<value><unknown>1</unknown></value>",
+            "<value>text<i4>1</i4></value>",
+            "<value><struct><name>x</name></struct></value>",
+            "<value><array><value><i4>1</i4></value></array></value>",
+            "<value><i4>1</i4>",
+            "<value><i4>1</i4></value><value/>",
+        ] {
+            assert!(parse_value_document(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn call_without_params() {
+        let call = parse_call(b"<methodCall><methodName>ping</methodName></methodCall>").unwrap();
+        assert_eq!(call.name, "ping");
+        assert!(call.params.is_empty());
+        let call =
+            parse_call(b"<methodCall><methodName>ping</methodName><params/></methodCall>").unwrap();
+        assert!(call.params.is_empty());
+    }
+
+    #[test]
+    fn call_rejects_empty_name_and_bad_utf8() {
+        assert!(parse_call(b"<methodCall><methodName> </methodName></methodCall>").is_err());
+        assert!(parse_call(&[0xff, 0xfe, b'<']).is_err());
+    }
+
+    #[test]
+    fn response_success() {
+        let xml = b"<methodResponse><params><param>\
+                    <value><string>South Dakota</string></value>\
+                    </param></params></methodResponse>";
+        match parse_response(xml).unwrap() {
+            Response::Success(v) => assert_eq!(v, Value::from("South Dakota")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_missing_members_rejected() {
+        let xml = b"<methodResponse><fault><value><struct>\
+                    <member><name>faultCode</name><value><i4>1</i4></value></member>\
+                    </struct></value></fault></methodResponse>";
+        assert!(parse_response(xml).is_err());
+    }
+
+    #[test]
+    fn duplicate_struct_member_last_wins() {
+        let xml = "<value><struct>\
+                   <member><name>k</name><value><i4>1</i4></value></member>\
+                   <member><name>k</name><value><i4>2</i4></value></member>\
+                   </struct></value>";
+        let v = parse_value_document(xml).unwrap();
+        assert_eq!(v.member("k").unwrap(), &Value::Int(2));
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let mut xml = String::new();
+        for _ in 0..80 {
+            xml.push_str("<value><array><data>");
+        }
+        xml.push_str("<value><i4>1</i4></value>");
+        for _ in 0..80 {
+            xml.push_str("</data></array></value>");
+        }
+        assert!(parse_value_document(&xml).is_err());
+    }
+
+    #[test]
+    fn entities_in_method_name_and_strings() {
+        let call = parse_call(
+            b"<methodCall><methodName>a&amp;b</methodName><params>\
+              <param><value><string>x&lt;y</string></value></param>\
+              </params></methodCall>",
+        )
+        .unwrap();
+        assert_eq!(call.name, "a&b");
+        assert_eq!(call.params[0], Value::from("x<y"));
+    }
+}

@@ -1,0 +1,80 @@
+//! The Figure 5 study at the workbench: seed a runtime estimator with
+//! a 100-job Paragon-style history, predict the next 20 jobs, and
+//! print actual vs estimated runtimes plus the mean percentage error
+//! (the paper reports 13.53 %).
+//!
+//! ```text
+//! cargo run --example estimator_workbench
+//! ```
+
+use gae::core::estimator::{EstimationMethod, HistoryStore, RuntimeEstimator};
+use gae::trace::{ParagonRecord, TaskMeta, WorkloadModel};
+
+fn run_split(seed: u64, method: EstimationMethod) -> (Vec<(f64, f64)>, f64) {
+    let model = WorkloadModel::default();
+    let (history, probes) = model.figure5_split(seed);
+    let store = HistoryStore::new(1000);
+    store.load_trace(&history);
+    let estimator = RuntimeEstimator::new(store).with_method(method);
+
+    let mut rows = Vec::new();
+    let mut errors = Vec::new();
+    for probe in probes.iter().filter(|p| p.success) {
+        let actual = probe.runtime().as_secs_f64();
+        let predicted = match estimator.estimate(&TaskMeta::from_record(probe)) {
+            Ok(e) => e.runtime.as_secs_f64(),
+            Err(_) => continue,
+        };
+        rows.push((actual, predicted));
+        // The paper's definition: (actual - estimated)/actual * 100.
+        errors.push(((actual - predicted) / actual * 100.0).abs());
+    }
+    let mean_error = errors.iter().sum::<f64>() / errors.len() as f64;
+    (rows, mean_error)
+}
+
+fn main() {
+    println!("Figure 5 reproduction: history=100 jobs, probes=20 jobs\n");
+    let (rows, mean_error) = run_split(2005, EstimationMethod::Hybrid);
+    println!(
+        "{:>4}  {:>14}  {:>16}  {:>8}",
+        "job", "actual (s)", "estimated (s)", "err %"
+    );
+    for (i, (actual, predicted)) in rows.iter().enumerate() {
+        println!(
+            "{:>4}  {:>14.0}  {:>16.0}  {:>8.2}",
+            i + 1,
+            actual,
+            predicted,
+            ((actual - predicted) / actual * 100.0).abs()
+        );
+    }
+    println!("\nmean percentage error: {mean_error:.2}%  (paper: 13.53%)\n");
+
+    // How stable is that number across workload draws?
+    println!("mean error across ten seeds:");
+    for seed in 1..=10 {
+        let (_, e) = run_split(seed, EstimationMethod::Hybrid);
+        println!("  seed {seed:>2}: {e:>6.2}%");
+    }
+
+    // And what do the estimator's ingredients contribute? (§6.1's
+    // "mean and linear regression".)
+    println!("\nablation (seed 2005):");
+    for (name, method) in [
+        ("mean only", EstimationMethod::Mean),
+        ("regression only", EstimationMethod::Regression),
+        ("hybrid (paper)", EstimationMethod::Hybrid),
+    ] {
+        let (_, e) = run_split(2005, method);
+        println!("  {name:<16} {e:>6.2}%");
+    }
+
+    // Bonus: the trace is a faithful Paragon schema — show a record.
+    let model = WorkloadModel::default();
+    let records = model.generate(1, 7);
+    println!(
+        "\nsample accounting record (CSV):\n{}",
+        ParagonRecord::to_csv(&records)
+    );
+}

@@ -1,0 +1,69 @@
+//! Backup & Recovery in action (§4.2.4): an execution service dies
+//! mid-job; the steering service notices, asks the scheduler for a
+//! new site, resubmits, and notifies the client.
+//!
+//! ```text
+//! cargo run --example failure_recovery
+//! ```
+
+use gae::prelude::*;
+
+fn main() {
+    let grid = GridBuilder::new()
+        .site(SiteDescription::new(SiteId::new(1), "alpha", 2, 1))
+        .site(SiteDescription::new(SiteId::new(2), "beta", 2, 1).with_speed(0.9))
+        .build();
+    let stack = ServiceStack::over(grid.clone());
+
+    let mut job = JobSpec::new(JobId::new(1), "fragile", UserId::new(1));
+    let task = job.add_task(
+        TaskSpec::new(TaskId::new(1), "t", "reco").with_cpu_demand(SimDuration::from_secs(300)),
+    );
+    let plan = stack.submit_job(job).expect("schedulable");
+    let first_site = plan.site_of(task).expect("assigned");
+    println!("task scheduled on {first_site}");
+
+    // Let it run for a while, then pull the plug on its site.
+    stack.run_until(SimTime::from_secs(100));
+    println!("t=100s: killing the execution service at {first_site}");
+    grid.exec(first_site)
+        .expect("known site")
+        .lock()
+        .fail_site();
+
+    // The next steering polls detect the failure and recover.
+    stack.run_until(SimTime::from_secs(150));
+    let info = stack.jobmon.job_info(task).expect("tracked");
+    println!(
+        "t=150s: task now at {} with status {}",
+        info.site, info.status
+    );
+    println!("steering notifications so far:");
+    for n in stack.steering.drain_notifications() {
+        println!("  {n:?}");
+    }
+    assert_ne!(info.site, first_site, "recovery must re-place the task");
+
+    // Run to completion on the replacement site.
+    stack.run_until(SimTime::from_secs(600));
+    let info = stack.jobmon.job_info(task).expect("tracked");
+    println!(
+        "final: status={} site={} completed_at={:?}",
+        info.status, info.site, info.completed_at
+    );
+
+    println!("\nclient notifications, in order:");
+    for n in stack.steering.drain_notifications() {
+        println!("  {n:?}");
+    }
+
+    // The site can come back — new submissions are accepted again.
+    grid.exec(first_site)
+        .expect("known site")
+        .lock()
+        .recover_site();
+    println!(
+        "\n{first_site} recovered; alive = {}",
+        grid.is_alive(first_site)
+    );
+}

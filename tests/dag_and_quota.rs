@@ -1,0 +1,208 @@
+//! DAG workflows, scheduling preferences, priorities, and the Quota
+//! and Accounting Service across the whole stack.
+
+use gae::prelude::*;
+use std::sync::Arc;
+
+fn priced_grid() -> Arc<gae::core::Grid> {
+    GridBuilder::new()
+        // Fast but expensive.
+        .site(
+            SiteDescription::new(SiteId::new(1), "premium", 4, 1)
+                .with_speed(2.0)
+                .with_charge(10.0, 1.0),
+        )
+        // Slow but cheap.
+        .site(
+            SiteDescription::new(SiteId::new(2), "economy", 4, 1)
+                .with_speed(1.0)
+                .with_charge(1.0, 0.1),
+        )
+        .build()
+}
+
+#[test]
+fn fast_and_cheap_preferences_pick_different_sites() {
+    let stack = ServiceStack::over(priced_grid());
+    let make_job = |id: u64| {
+        let mut job = JobSpec::new(JobId::new(id), format!("j{id}"), UserId::new(1));
+        job.add_task(
+            TaskSpec::new(TaskId::new(id), "t", "reco")
+                .with_cpu_demand(SimDuration::from_secs(100)),
+        );
+        job
+    };
+    let fast = stack
+        .submit_plan(&AbstractPlan::new(make_job(1)).with_preference(OptimizationPreference::Fast))
+        .unwrap();
+    assert_eq!(
+        fast.site_of(TaskId::new(1)),
+        Some(SiteId::new(1)),
+        "fast → premium"
+    );
+    let cheap = stack
+        .submit_plan(&AbstractPlan::new(make_job(2)).with_preference(OptimizationPreference::Cheap))
+        .unwrap();
+    assert_eq!(
+        cheap.site_of(TaskId::new(2)),
+        Some(SiteId::new(2)),
+        "cheap → economy"
+    );
+}
+
+#[test]
+fn completed_work_is_charged_to_the_owner() {
+    let stack = ServiceStack::over(priced_grid());
+    let owner = UserId::new(7);
+    stack.quota.grant(owner, 100.0);
+    let mut job = JobSpec::new(JobId::new(1), "billed", owner);
+    job.add_task(
+        TaskSpec::new(TaskId::new(1), "t", "reco").with_cpu_demand(SimDuration::from_secs(3600)),
+    );
+    stack
+        .submit_plan(&AbstractPlan::new(job).restricted_to(vec![SiteId::new(2)]))
+        .unwrap();
+    stack.run_until(SimTime::from_secs(4_000));
+    // 3600 CPU-seconds at 1.0/cpu-hour = 1.0 charged.
+    let charged = stack.quota.total_charged(owner);
+    assert!((charged - 1.0).abs() < 1e-9, "charged {charged}");
+    assert!((stack.quota.balance(owner) - 99.0).abs() < 1e-9);
+    let ledger = stack.quota.ledger();
+    assert_eq!(ledger.len(), 1);
+    assert_eq!(ledger[0].site, SiteId::new(2));
+}
+
+#[test]
+fn diamond_dag_completes_in_dependency_order() {
+    let stack = ServiceStack::over(priced_grid());
+    let mut job = JobSpec::new(JobId::new(1), "diamond", UserId::new(1));
+    let gen = job.add_task(
+        TaskSpec::new(TaskId::new(1), "gen", "gen").with_cpu_demand(SimDuration::from_secs(50)),
+    );
+    let reco1 = job.add_task(
+        TaskSpec::new(TaskId::new(2), "reco1", "reco").with_cpu_demand(SimDuration::from_secs(80)),
+    );
+    let reco2 = job.add_task(
+        TaskSpec::new(TaskId::new(3), "reco2", "reco").with_cpu_demand(SimDuration::from_secs(120)),
+    );
+    let merge = job.add_task(
+        TaskSpec::new(TaskId::new(4), "merge", "merge").with_cpu_demand(SimDuration::from_secs(30)),
+    );
+    job.add_dependency(gen, reco1);
+    job.add_dependency(gen, reco2);
+    job.add_dependency(reco1, merge);
+    job.add_dependency(reco2, merge);
+    stack.submit_job(job).unwrap();
+    stack.run_until(SimTime::from_secs(1_000));
+
+    let at = |t: TaskId| {
+        let i = stack.jobmon.job_info(t).unwrap();
+        (i.started_at.unwrap(), i.completed_at.unwrap())
+    };
+    let (gen_s, gen_c) = at(gen);
+    let (r1_s, r1_c) = at(reco1);
+    let (r2_s, r2_c) = at(reco2);
+    let (m_s, _m_c) = at(merge);
+    assert_eq!(gen_s, SimTime::ZERO);
+    assert!(
+        r1_s >= gen_c && r2_s >= gen_c,
+        "recos start after gen completes"
+    );
+    assert!(m_s >= r1_c.max(r2_c), "merge starts after both recos");
+    assert_eq!(stack.jobmon.job_status(JobId::new(1)), JobStatus::Completed);
+}
+
+#[test]
+fn wide_fanout_saturates_slots_and_queues() {
+    let grid = GridBuilder::new()
+        .site(SiteDescription::new(SiteId::new(1), "only", 2, 1))
+        .build();
+    let stack = ServiceStack::over(grid.clone());
+    let mut job = JobSpec::new(JobId::new(1), "fanout", UserId::new(1));
+    for i in 1..=6 {
+        job.add_task(
+            TaskSpec::new(TaskId::new(i), format!("t{i}"), "x")
+                .with_cpu_demand(SimDuration::from_secs(100)),
+        );
+    }
+    stack.submit_job(job).unwrap();
+    {
+        let exec = grid.exec(SiteId::new(1)).unwrap();
+        let guard = exec.lock();
+        assert_eq!(guard.running_count(), 2, "two slots");
+        assert_eq!(guard.queue_length(), 4);
+    }
+    // Queue positions are part of the monitoring API.
+    let queued: Vec<_> = (1..=6)
+        .filter_map(|i| stack.jobmon.job_info(TaskId::new(i)).ok())
+        .filter(|info| info.status == TaskStatus::Queued)
+        .collect();
+    assert_eq!(queued.len(), 4);
+    assert!(queued.iter().any(|i| i.queue_position == Some(0)));
+    // 6 tasks × 100 s over 2 slots = 300 s.
+    stack.run_until(SimTime::from_secs(300));
+    assert_eq!(stack.jobmon.job_status(JobId::new(1)), JobStatus::Completed);
+}
+
+#[test]
+fn high_priority_tasks_jump_the_shared_queue() {
+    let grid = GridBuilder::new()
+        .site(SiteDescription::new(SiteId::new(1), "only", 1, 1))
+        .build();
+    let stack = ServiceStack::over(grid);
+    let mut job = JobSpec::new(JobId::new(1), "mixed", UserId::new(1));
+    let filler = job.add_task(
+        TaskSpec::new(TaskId::new(1), "filler", "x").with_cpu_demand(SimDuration::from_secs(100)),
+    );
+    let low = job.add_task(
+        TaskSpec::new(TaskId::new(2), "low", "x")
+            .with_cpu_demand(SimDuration::from_secs(100))
+            .with_priority(Priority::LOW),
+    );
+    let high = job.add_task(
+        TaskSpec::new(TaskId::new(3), "high", "x")
+            .with_cpu_demand(SimDuration::from_secs(100))
+            .with_priority(Priority::HIGH),
+    );
+    stack.submit_job(job).unwrap();
+    stack.run_until(SimTime::from_secs(350));
+    let started = |t| stack.jobmon.job_info(t).unwrap().started_at.unwrap();
+    assert!(started(high) < started(low));
+    assert_eq!(started(filler), SimTime::ZERO);
+}
+
+#[test]
+fn estimated_and_remaining_time_exposed_by_monitoring() {
+    let stack = ServiceStack::over(priced_grid());
+    // Teach site 2's estimator this executable's runtime.
+    for i in 1..=3u64 {
+        let mut job = JobSpec::new(JobId::new(i), format!("warm{i}"), UserId::new(1));
+        job.add_task(
+            TaskSpec::new(TaskId::new(i), "t", "reco").with_cpu_demand(SimDuration::from_secs(400)),
+        );
+        stack
+            .submit_plan(&AbstractPlan::new(job).restricted_to(vec![SiteId::new(2)]))
+            .unwrap();
+        stack.run_until(SimTime::from_secs(500 * i));
+    }
+    let mut job = JobSpec::new(JobId::new(9), "probe", UserId::new(1));
+    let task = job.add_task(
+        TaskSpec::new(TaskId::new(9), "t", "reco").with_cpu_demand(SimDuration::from_secs(400)),
+    );
+    stack
+        .submit_plan(&AbstractPlan::new(job).restricted_to(vec![SiteId::new(2)]))
+        .unwrap();
+    let t0 = stack.grid.now();
+    stack.run_until(t0 + SimDuration::from_secs(100));
+    let info = stack.jobmon.job_info(task).unwrap();
+    let est = info
+        .estimated_runtime
+        .expect("history-backed estimate")
+        .as_secs_f64();
+    assert!((est - 400.0).abs() < 1.0, "estimate {est}");
+    let remaining = info
+        .remaining_time
+        .expect("estimate minus cpu")
+        .as_secs_f64();
+    assert!((remaining - 300.0).abs() < 1.0, "remaining {remaining}");
+}

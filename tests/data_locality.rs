@@ -1,0 +1,138 @@
+//! Data-aware placement: §1 motivates services that manage "the
+//! locations from where the jobs access their required data", and the
+//! paper's scheduler counts file-transfer time in its decision (§6.1e
+//! + §6.3). These tests pin that behaviour end to end.
+
+use gae::prelude::*;
+use gae::sim::{Link, NetworkModel};
+
+fn grid_with_slow_wan() -> std::sync::Arc<gae::core::Grid> {
+    // 1 MB/s between the two sites: staging 10 GB costs ~10,000 s.
+    let mut net = NetworkModel::new(Link::new(1e6, SimDuration::from_millis(30)));
+    net.set_symmetric(
+        SiteId::new(1),
+        SiteId::new(2),
+        Link::new(1e6, SimDuration::from_millis(30)),
+    );
+    GridBuilder::new()
+        .site(SiteDescription::new(SiteId::new(1), "data-site", 2, 1))
+        .site(SiteDescription::new(SiteId::new(2), "compute-site", 2, 1).with_speed(1.5))
+        .network(net)
+        .build()
+}
+
+#[test]
+fn big_inputs_pull_the_task_to_the_replica() {
+    let stack = ServiceStack::over(grid_with_slow_wan());
+    let mut job = JobSpec::new(JobId::new(1), "data-heavy", UserId::new(1));
+    let task = job.add_task(
+        TaskSpec::new(TaskId::new(1), "t", "reco")
+            .with_cpu_demand(SimDuration::from_secs(1_000))
+            .with_inputs(vec![FileRef::new("lfn:/cms/events.root", 10_000_000_000)
+                .with_replicas(vec![SiteId::new(1)])]),
+    );
+    let plan = stack.submit_job(job).unwrap();
+    // Site 2 is 1.5x faster, but staging 10 GB at 1 MB/s dwarfs the
+    // CPU gain: the scheduler must pick the replica site.
+    assert_eq!(plan.site_of(task), Some(SiteId::new(1)));
+}
+
+#[test]
+fn small_inputs_let_the_faster_cpu_win() {
+    let stack = ServiceStack::over(grid_with_slow_wan());
+    let mut job = JobSpec::new(JobId::new(1), "cpu-heavy", UserId::new(1));
+    let task = job.add_task(
+        TaskSpec::new(TaskId::new(1), "t", "reco")
+            .with_cpu_demand(SimDuration::from_secs(1_000))
+            .with_inputs(vec![
+                // 10 MB: ~10 s to stage, while the faster CPU saves ~333 s.
+                FileRef::new("lfn:/cms/config.tgz", 10_000_000).with_replicas(vec![SiteId::new(1)]),
+            ]),
+    );
+    let plan = stack.submit_job(job).unwrap();
+    assert_eq!(plan.site_of(task), Some(SiteId::new(2)));
+}
+
+#[test]
+fn produced_files_do_not_block_scheduling() {
+    // Input files with no replicas anywhere are produced by earlier
+    // pipeline stages; they must not error out the scheduler.
+    let stack = ServiceStack::over(grid_with_slow_wan());
+    let mut job = JobSpec::new(JobId::new(1), "pipeline", UserId::new(1));
+    let a = job.add_task(
+        TaskSpec::new(TaskId::new(1), "gen", "gen").with_cpu_demand(SimDuration::from_secs(10)),
+    );
+    let b = job.add_task(
+        TaskSpec::new(TaskId::new(2), "reco", "reco")
+            .with_cpu_demand(SimDuration::from_secs(10))
+            .with_inputs(vec![FileRef::new("lfn:/tmp/gen-output.root", 1 << 30)]),
+    );
+    job.add_dependency(a, b);
+    let plan = stack.submit_job(job).unwrap();
+    assert!(plan.site_of(b).is_some());
+    stack.run_until(SimTime::from_secs(60));
+    assert_eq!(stack.jobmon.job_status(JobId::new(1)), JobStatus::Completed);
+}
+
+#[test]
+fn transfer_estimate_matches_actual_staging_delay() {
+    // The estimator's prediction (noisy iperf probe) must land within
+    // a few percent of the *actual* staging delay the grid imposes.
+    let stack = ServiceStack::over(grid_with_slow_wan());
+    let mut job = JobSpec::new(JobId::new(1), "staged", UserId::new(1));
+    let task = job.add_task(
+        TaskSpec::new(TaskId::new(1), "t", "reco")
+            .with_cpu_demand(SimDuration::from_secs(100))
+            .with_inputs(vec![
+                FileRef::new("lfn:/data.root", 100_000_000).with_replicas(vec![SiteId::new(1)])
+            ]),
+    );
+    // Force the non-replica site so staging actually happens.
+    stack
+        .submit_plan(&AbstractPlan::new(job).restricted_to(vec![SiteId::new(2)]))
+        .unwrap();
+    let predicted = stack
+        .estimators
+        .estimate_transfer(
+            &[FileRef::new("lfn:/data.root", 100_000_000).with_replicas(vec![SiteId::new(1)])],
+            SiteId::new(2),
+        )
+        .unwrap()
+        .as_secs_f64();
+
+    // ~100 s staging at 1 MB/s, then 100 s of CPU.
+    stack.run_until(SimTime::from_secs(50));
+    let info = stack.jobmon.job_info(task).unwrap();
+    assert_eq!(info.status, TaskStatus::Pending, "still staging at t=50");
+    stack.run_until(SimTime::from_secs(250));
+    let info = stack.jobmon.job_info(task).unwrap();
+    assert_eq!(info.status, TaskStatus::Completed);
+    let actual_staging = info.started_at.unwrap().as_secs_f64();
+    assert!(
+        (actual_staging - 100.0).abs() < 1.0,
+        "staging took {actual_staging}"
+    );
+    let rel = (predicted - actual_staging).abs() / actual_staging;
+    assert!(
+        rel < 0.07,
+        "estimate {predicted} vs actual {actual_staging} (rel {rel})"
+    );
+}
+
+#[test]
+fn transfer_estimator_reports_cross_site_staging_cost() {
+    let grid = grid_with_slow_wan();
+    let stack = ServiceStack::over(grid);
+    let files = vec![FileRef::new("a", 1_000_000_000).with_replicas(vec![SiteId::new(1)])];
+    let at_replica = stack
+        .estimators
+        .estimate_transfer(&files, SiteId::new(1))
+        .unwrap();
+    let across_wan = stack
+        .estimators
+        .estimate_transfer(&files, SiteId::new(2))
+        .unwrap();
+    assert_eq!(at_replica, SimDuration::ZERO);
+    let secs = across_wan.as_secs_f64();
+    assert!((secs - 1_000.0).abs() < 100.0, "1 GB at ~1 MB/s: {secs}");
+}

@@ -1,0 +1,90 @@
+//! Sequential vs sharded grid-driver scaling.
+//!
+//! Each case builds a grid of N sites (4 nodes × 2 slots each, mixed
+//! external load), seeds every site with a batch of tasks, then
+//! advances the clock through a fixed tick schedule — the hot loop of
+//! every experiment harness: per-site advancement, batched MonALISA
+//! publication, and the (site, seq)-merged event drain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gae_core::{DriverMode, Grid, GridBuilder};
+use gae_types::{SimDuration, SiteDescription, SiteId, TaskId, TaskSpec};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Ticks driven per iteration.
+const TICKS: u64 = 20;
+/// Seconds between ticks.
+const TICK_SECS: u64 = 5;
+
+fn build_grid(sites: u64, driver: DriverMode) -> Arc<Grid> {
+    let mut builder = GridBuilder::new().driver(driver);
+    for i in 1..=sites {
+        let desc = SiteDescription::new(SiteId::new(i), format!("site-{i}"), 4, 2);
+        builder = if i % 3 == 0 {
+            builder.site_with_load(desc, 0.5)
+        } else {
+            builder.site(desc)
+        };
+    }
+    let grid = builder.build();
+    for i in 1..=sites {
+        for j in 0..4u64 {
+            let spec = TaskSpec::new(TaskId::new(i * 100 + j), format!("t{i}-{j}"), "app")
+                .with_cpu_demand(SimDuration::from_secs(3 + 11 * j));
+            grid.submit(SiteId::new(i), spec, None).expect("submit");
+        }
+    }
+    grid
+}
+
+fn drive(grid: &Grid) -> usize {
+    let mut drained = 0;
+    let base = grid.now();
+    for tick in 1..=TICKS {
+        grid.advance_to(base + SimDuration::from_secs(tick * TICK_SECS));
+        drained += grid.drain_events().len();
+    }
+    drained
+}
+
+/// Tops every site up with fresh work so each measured drive sees
+/// live queues, not an idle grid.
+fn refill(grid: &Grid, sites: u64, next_id: &mut u64) {
+    for i in 1..=sites {
+        for j in 0..2u64 {
+            let id = *next_id;
+            *next_id += 1;
+            let spec = TaskSpec::new(TaskId::new(id), format!("r{id}"), "app")
+                .with_cpu_demand(SimDuration::from_secs(3 + 11 * j));
+            grid.submit(SiteId::new(i), spec, None).expect("submit");
+        }
+    }
+}
+
+fn bench_driver(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut group = c.benchmark_group("grid_driver");
+    for sites in [4u64, 16, 64, 256] {
+        let modes = [
+            ("sequential".to_string(), DriverMode::Sequential),
+            (format!("sharded_t{threads}"), DriverMode::sharded(threads)),
+        ];
+        for (label, mode) in modes {
+            group.bench_with_input(BenchmarkId::new(label, sites), &sites, |b, &sites| {
+                let grid = build_grid(sites, mode);
+                let mut next_id = 1_000_000;
+                b.iter(|| {
+                    refill(&grid, sites, &mut next_id);
+                    black_box(drive(&grid))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_driver);
+criterion_main!(benches);

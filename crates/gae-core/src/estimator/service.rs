@@ -12,7 +12,8 @@ use gae_trace::{ParagonRecord, TaskMeta};
 use gae_types::{CondorId, FileRef, GaeError, GaeResult, SimDuration, SiteId, TaskSpec};
 use gae_wire::Value;
 use parking_lot::RwLock;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Default capacity of each site's task history.
@@ -24,6 +25,14 @@ pub struct EstimatorService {
     runtime: RwLock<BTreeMap<SiteId, Arc<RuntimeEstimator>>>,
     estimate_db: BTreeMap<SiteId, Arc<EstimateDb>>,
     transfer: TransferEstimator,
+    /// Memoised [`Self::estimate_runtime`] results. A runtime estimate
+    /// is a pure function of the site's task history and the task's
+    /// metadata tuple, so it stays valid until that site's history (or
+    /// estimator) changes — the steering/flocking poll asks for the
+    /// same `(site, meta)` estimate many times between changes.
+    memo: RwLock<HashMap<(SiteId, TaskMeta), RuntimeEstimate>>,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
 }
 
 impl EstimatorService {
@@ -45,12 +54,30 @@ impl EstimatorService {
             runtime: RwLock::new(runtime),
             estimate_db,
             transfer,
+            memo: RwLock::new(HashMap::new()),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
         }
     }
 
     /// Replaces one site's runtime estimator (ablation studies).
     pub fn set_runtime_estimator(&self, site: SiteId, estimator: RuntimeEstimator) {
         self.runtime.write().insert(site, Arc::new(estimator));
+        self.invalidate_site(site);
+    }
+
+    /// Drops every memoised estimate for `site`; called whenever the
+    /// inputs an estimate depends on may have changed.
+    fn invalidate_site(&self, site: SiteId) {
+        self.memo.write().retain(|(s, _), _| *s != site);
+    }
+
+    /// `(hits, misses)` of the estimate memo cache since start-up.
+    pub fn memo_stats(&self) -> (u64, u64) {
+        (
+            self.memo_hits.load(Ordering::Relaxed),
+            self.memo_misses.load(Ordering::Relaxed),
+        )
     }
 
     fn runtime_estimator(&self, site: SiteId) -> GaeResult<Arc<RuntimeEstimator>> {
@@ -69,20 +96,35 @@ impl EstimatorService {
 
     /// Seeds a site's history from an accounting trace.
     pub fn seed_history(&self, site: SiteId, records: &[ParagonRecord]) -> GaeResult<usize> {
-        Ok(self.runtime_estimator(site)?.history().load_trace(records))
+        let loaded = self.runtime_estimator(site)?.history().load_trace(records);
+        self.invalidate_site(site);
+        Ok(loaded)
     }
 
     /// Records an observed completion into the site's history.
     pub fn observe_completion(&self, site: SiteId, meta: TaskMeta, runtime: SimDuration) {
         if let Ok(est) = self.runtime_estimator(site) {
             est.history().observe(meta, runtime);
+            self.invalidate_site(site);
         }
     }
 
     /// §6.1: predicted runtime of `spec` at `site`.
     pub fn estimate_runtime(&self, site: SiteId, spec: &TaskSpec) -> GaeResult<RuntimeEstimate> {
-        self.runtime_estimator(site)?
-            .estimate(&TaskMeta::from_spec(spec))
+        self.estimate_meta(site, &TaskMeta::from_spec(spec))
+    }
+
+    /// Memoised estimate for an already-extracted metadata tuple.
+    fn estimate_meta(&self, site: SiteId, meta: &TaskMeta) -> GaeResult<RuntimeEstimate> {
+        let key = (site, meta.clone());
+        if let Some(cached) = self.memo.read().get(&key) {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(*cached);
+        }
+        self.memo_misses.fetch_add(1, Ordering::Relaxed);
+        let estimate = self.runtime_estimator(site)?.estimate(meta)?;
+        self.memo.write().insert(key, estimate);
+        Ok(estimate)
     }
 
     /// Records the runtime "estimated at the time of task submission"
@@ -90,6 +132,10 @@ impl EstimatorService {
     pub fn record_submission(&self, site: SiteId, condor: CondorId, estimate: SimDuration) {
         if let Ok(db) = self.db(site) {
             db.record(condor, estimate);
+            // A new live task changes what subsequent estimates should
+            // see at this site (conservative; keeps the cache honest
+            // even if an estimator starts consulting live state).
+            self.invalidate_site(site);
         }
     }
 
@@ -176,7 +222,7 @@ impl Service for EstimatorRpc {
                     nodes: params[5].as_u64()? as u32,
                     job_type: params[6].as_str()?.parse()?,
                 };
-                let est = self.service.runtime_estimator(site)?.estimate(&meta)?;
+                let est = self.service.estimate_meta(site, &meta)?;
                 Ok(Value::struct_of([
                     ("runtime_s", Value::from(est.runtime.as_secs_f64())),
                     ("template_tier", Value::Int64(est.template_tier as i64)),

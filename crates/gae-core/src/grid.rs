@@ -14,7 +14,7 @@ use crate::provider::GridSiteInfo;
 use crate::quota::QuotaService;
 use crate::steering::{SteeringPolicy, SteeringService};
 use gae_exec::{Checkpoint, ExecEvent, ExecutionService, SiteConfig};
-use gae_monitor::MonAlisaRepository;
+use gae_monitor::{MetricKey, MonAlisaRepository, Sample};
 use gae_sched::Scheduler;
 use gae_sim::{LoadTrace, NetworkModel};
 use gae_types::{
@@ -24,6 +24,55 @@ use gae_types::{
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// How [`Grid::advance_to`] fans work across the sites.
+///
+/// Sites are independent state machines between service polls, so the
+/// sharded driver produces *bit-identical* results to the sequential
+/// one — see DESIGN.md ("Sharded driver determinism contract"). The
+/// mode is therefore purely a throughput knob.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DriverMode {
+    /// Advance sites one after another on the calling thread.
+    #[default]
+    Sequential,
+    /// Fan site advancement, metric collection and event draining
+    /// across a fixed pool of scoped worker threads.
+    Sharded {
+        /// Worker count (clamped to at least 1 and at most the number
+        /// of sites when applied).
+        threads: usize,
+    },
+}
+
+impl DriverMode {
+    /// Sharded mode with `threads` workers (at least 1).
+    pub fn sharded(threads: usize) -> Self {
+        DriverMode::Sharded {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Sharded mode sized to the machine's available parallelism.
+    pub fn sharded_auto() -> Self {
+        Self::sharded(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+}
+
+/// Interned metric keys for one site, built once at grid construction
+/// so the per-tick publication loop performs no string allocation.
+struct SiteMetricKeys {
+    /// Farm-wide CPU load.
+    site_load: MetricKey,
+    /// Farm-wide queue length.
+    queue_length: MetricKey,
+    /// Per node, in `nodes()` order: (`cpu_load`, `busy_slots`).
+    node_keys: Vec<(MetricKey, MetricKey)>,
+}
 
 /// The execution fabric: sites + monitoring + network, one clock.
 pub struct Grid {
@@ -35,6 +84,10 @@ pub struct Grid {
     /// Directed flocking partnerships: queued work at the key site
     /// may overflow to the listed partners (Condor flocking, §7).
     flock_partners: RwLock<BTreeMap<SiteId, Vec<SiteId>>>,
+    /// Pre-interned publication keys, one entry per site.
+    metric_keys: BTreeMap<SiteId, SiteMetricKeys>,
+    /// Sequential or sharded advancement (fixed at build time).
+    driver: DriverMode,
 }
 
 /// Builder for [`Grid`].
@@ -42,6 +95,7 @@ pub struct GridBuilder {
     configs: Vec<SiteConfig>,
     network: NetworkModel,
     monitor: Option<Arc<MonAlisaRepository>>,
+    driver: DriverMode,
 }
 
 impl GridBuilder {
@@ -51,7 +105,14 @@ impl GridBuilder {
             configs: Vec::new(),
             network: NetworkModel::wan_2005(),
             monitor: None,
+            driver: DriverMode::Sequential,
         }
+    }
+
+    /// Selects the advancement driver (sequential by default).
+    pub fn driver(mut self, driver: DriverMode) -> Self {
+        self.driver = driver;
+        self
     }
 
     /// Adds a site whose nodes are free.
@@ -100,6 +161,34 @@ impl GridBuilder {
             descriptions.insert(id, config.description.clone());
             sites.insert(id, Arc::new(Mutex::new(ExecutionService::new(config))));
         }
+        // Intern every publication key up front: two shared parameter
+        // names, one entity name per node. The hot loop then only
+        // clones `Arc`s.
+        let cpu_load: Arc<str> = Arc::from("cpu_load");
+        let busy_slots: Arc<str> = Arc::from("busy_slots");
+        let mut metric_keys = BTreeMap::new();
+        for (id, site) in &sites {
+            let exec = site.lock();
+            let node_keys = exec
+                .nodes()
+                .iter()
+                .map(|node| {
+                    let entity: Arc<str> = Arc::from(node.id.to_string());
+                    (
+                        MetricKey::new(*id, entity.clone(), cpu_load.clone()),
+                        MetricKey::new(*id, entity, busy_slots.clone()),
+                    )
+                })
+                .collect();
+            metric_keys.insert(
+                *id,
+                SiteMetricKeys {
+                    site_load: MetricKey::site_wide(*id, cpu_load.clone()),
+                    queue_length: MetricKey::site_wide(*id, "queue_length"),
+                    node_keys,
+                },
+            );
+        }
         let grid = Arc::new(Grid {
             sites,
             descriptions,
@@ -107,6 +196,8 @@ impl GridBuilder {
             network: self.network,
             now: RwLock::new(SimTime::ZERO),
             flock_partners: RwLock::new(BTreeMap::new()),
+            metric_keys,
+            driver: self.driver,
         });
         grid.publish_metrics();
         grid
@@ -204,6 +295,62 @@ impl Grid {
             .min()
     }
 
+    /// The configured advancement driver.
+    pub fn driver_mode(&self) -> DriverMode {
+        self.driver
+    }
+
+    /// The sites partitioned into at most `threads` contiguous chunks
+    /// of id-sorted order. Contiguity is what makes shard-wise
+    /// concatenation reproduce the sequential site iteration order.
+    fn site_chunks(&self, threads: usize) -> Vec<Vec<(SiteId, Arc<Mutex<ExecutionService>>)>> {
+        let entries: Vec<(SiteId, Arc<Mutex<ExecutionService>>)> = self
+            .sites
+            .iter()
+            .map(|(id, site)| (*id, site.clone()))
+            .collect();
+        if entries.is_empty() {
+            return Vec::new();
+        }
+        let threads = threads.clamp(1, entries.len());
+        entries
+            .chunks(entries.len().div_ceil(threads))
+            .map(<[_]>::to_vec)
+            .collect()
+    }
+
+    /// Applies `work` to every shard and returns the per-shard results
+    /// in shard (= site) order. The first chunk runs on the calling
+    /// thread; additional chunks get scoped worker threads. A single
+    /// chunk therefore costs no thread spawn at all, which keeps
+    /// `DriverMode::sharded(1)` within noise of sequential.
+    fn run_sharded<T: Send>(
+        &self,
+        threads: usize,
+        work: impl Fn(&[(SiteId, Arc<Mutex<ExecutionService>>)]) -> T + Sync,
+    ) -> Vec<T> {
+        let chunks = self.site_chunks(threads);
+        if chunks.len() <= 1 {
+            return chunks.iter().map(|chunk| work(chunk)).collect();
+        }
+        let work = &work;
+        crossbeam::thread::scope(|scope| {
+            let (first, rest) = chunks.split_first().expect("checked non-empty");
+            let handles: Vec<_> = rest
+                .iter()
+                .map(|chunk| scope.spawn(move |_| work(chunk)))
+                .collect();
+            let mut results = vec![work(first)];
+            results.extend(
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard panicked")),
+            );
+            results
+        })
+        .expect("shard scope panicked")
+    }
+
     /// Advances every site to `t` and publishes fresh metrics.
     pub fn advance_to(&self, t: SimTime) {
         {
@@ -211,38 +358,101 @@ impl Grid {
             assert!(t >= *now, "grid cannot advance backwards");
             *now = t;
         }
-        for site in self.sites.values() {
-            site.lock().advance_to(t);
+        match self.driver {
+            DriverMode::Sequential => {
+                for site in self.sites.values() {
+                    site.lock().advance_to(t);
+                }
+            }
+            DriverMode::Sharded { threads } => {
+                // Sites are independent between polls: no cross-site
+                // state is touched while advancing, so shard order
+                // cannot influence the result.
+                self.run_sharded(threads, |chunk| {
+                    for (_, site) in chunk {
+                        site.lock().advance_to(t);
+                    }
+                });
+            }
         }
         self.publish_metrics();
+    }
+
+    /// Collects one tick's samples for a run of sites, in site order:
+    /// farm load, queue length, then per-node load and slot occupancy.
+    fn collect_samples(
+        &self,
+        sites: &[(SiteId, Arc<Mutex<ExecutionService>>)],
+        now: SimTime,
+    ) -> Vec<(MetricKey, Sample)> {
+        let mut out = Vec::new();
+        for (id, site) in sites {
+            let site = site.lock();
+            let keys = &self.metric_keys[id];
+            out.push((
+                keys.site_load.clone(),
+                Sample {
+                    at: now,
+                    value: site.current_load(),
+                },
+            ));
+            out.push((
+                keys.queue_length.clone(),
+                Sample {
+                    at: now,
+                    value: site.queue_length() as f64,
+                },
+            ));
+            for (node, (load_key, slots_key)) in site.nodes().iter().zip(&keys.node_keys) {
+                out.push((
+                    load_key.clone(),
+                    Sample {
+                        at: now,
+                        value: node.load_at(now),
+                    },
+                ));
+                out.push((
+                    slots_key.clone(),
+                    Sample {
+                        at: now,
+                        value: f64::from(node.busy_slots()),
+                    },
+                ));
+            }
+        }
+        out
     }
 
     /// Publishes per-site load and queue length to MonALISA (§6.1d's
     /// "status of load at execution sites"), plus per-node load and
     /// slot occupancy (MonALISA's Farm/Node hierarchy).
+    ///
+    /// All of a tick's samples go to the repository as one
+    /// [`MonAlisaRepository::publish_batch`] call — one store-lock
+    /// acquisition per tick instead of one per metric — using the keys
+    /// interned at construction. Sample order is site order regardless
+    /// of driver mode.
     pub fn publish_metrics(&self) {
-        use gae_monitor::MetricKey;
         let now = self.now();
-        for (id, site) in &self.sites {
-            let site = site.lock();
-            self.monitor
-                .publish_site_load(*id, now, site.current_load());
-            self.monitor
-                .publish_queue_length(*id, now, site.queue_length() as f64);
-            for node in site.nodes() {
-                let entity = node.id.to_string();
-                self.monitor.publish_metric(
-                    MetricKey::new(*id, entity.clone(), "cpu_load"),
-                    now,
-                    node.load_at(now),
-                );
-                self.monitor.publish_metric(
-                    MetricKey::new(*id, entity, "busy_slots"),
-                    now,
-                    f64::from(node.busy_slots()),
-                );
+        let samples = match self.driver {
+            DriverMode::Sequential => {
+                let entries: Vec<(SiteId, Arc<Mutex<ExecutionService>>)> = self
+                    .sites
+                    .iter()
+                    .map(|(id, site)| (*id, site.clone()))
+                    .collect();
+                self.collect_samples(&entries, now)
             }
-        }
+            DriverMode::Sharded { threads } => {
+                // Chunks are contiguous in site order, so in-order
+                // concatenation equals the sequential sample order.
+                self.run_sharded(threads, |chunk| self.collect_samples(chunk, now))
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            }
+        };
+        self.monitor.publish_batch(samples);
     }
 
     /// Enables directed flocking: queued work at `from` may overflow
@@ -324,14 +534,41 @@ impl Grid {
         moves
     }
 
-    /// Drains execution events from every site, tagged with the site.
+    /// Drains execution events from every site, tagged with the site,
+    /// in `(site, seq)` order — ascending site id, then per-site
+    /// emission order. Under the sharded driver each shard drains its
+    /// own sites into a private buffer and the buffers are merged by
+    /// that same key, so consumers (the job monitoring collector, the
+    /// steering service) see a stream independent of driver mode.
     pub fn drain_events(&self) -> Vec<(SiteId, ExecEvent)> {
-        let mut out = Vec::new();
-        for (id, site) in &self.sites {
-            for e in site.lock().drain_events() {
-                out.push((*id, e));
+        let mut out: Vec<(SiteId, ExecEvent)> = match self.driver {
+            DriverMode::Sequential => {
+                let mut out = Vec::new();
+                for (id, site) in &self.sites {
+                    for e in site.lock().drain_events() {
+                        out.push((*id, e));
+                    }
+                }
+                out
             }
-        }
+            DriverMode::Sharded { threads } => self
+                .run_sharded(threads, |chunk| {
+                    let mut buf = Vec::new();
+                    for (id, site) in chunk {
+                        for e in site.lock().drain_events() {
+                            buf.push((*id, e));
+                        }
+                    }
+                    buf
+                })
+                .into_iter()
+                .flatten()
+                .collect(),
+        };
+        // Make the contract explicit whatever the chunking did; the
+        // buffers arrive already ordered, so this is a linear check
+        // for a stable sort.
+        out.sort_by_key(|(site, e)| (*site, e.seq));
         out
     }
 }
@@ -598,5 +835,113 @@ mod tests {
         stack.run_until(SimTime::from_secs(50));
         stack.run_until(SimTime::from_secs(50));
         assert_eq!(stack.grid.now(), SimTime::from_secs(50));
+    }
+
+    /// Builds an 8-site grid (mixed loads) with tasks on every site,
+    /// using the given driver.
+    fn loaded_grid(driver: DriverMode) -> Arc<Grid> {
+        let mut builder = GridBuilder::new().driver(driver);
+        for i in 1..=8u64 {
+            let desc = SiteDescription::new(SiteId::new(i), format!("s{i}"), 2, 2);
+            builder = if i % 2 == 0 {
+                builder.site_with_load(desc, 0.25 * i as f64)
+            } else {
+                builder.site(desc)
+            };
+        }
+        let grid = builder.build();
+        for i in 1..=8u64 {
+            for j in 0..3u64 {
+                let spec = TaskSpec::new(TaskId::new(i * 10 + j), format!("t{i}-{j}"), "app")
+                    .with_cpu_demand(SimDuration::from_secs(7 * (j + 1)));
+                grid.submit(SiteId::new(i), spec, None).unwrap();
+            }
+        }
+        grid
+    }
+
+    #[test]
+    fn sharded_driver_is_bit_identical_to_sequential() {
+        let sequential = loaded_grid(DriverMode::Sequential);
+        let sharded = loaded_grid(DriverMode::sharded(3));
+        assert_eq!(sharded.driver_mode(), DriverMode::Sharded { threads: 3 });
+        for step in 1..=6u64 {
+            let t = SimTime::from_secs(step * 5);
+            sequential.advance_to(t);
+            sharded.advance_to(t);
+            assert_eq!(sequential.drain_events(), sharded.drain_events(), "at {t}");
+            for site in sequential.site_ids() {
+                assert_eq!(
+                    sequential.monitor().site_load(site),
+                    sharded.monitor().site_load(site)
+                );
+                assert_eq!(
+                    sequential.monitor().queue_length(site),
+                    sharded.monitor().queue_length(site)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drain_order_is_site_then_seq() {
+        let grid = loaded_grid(DriverMode::sharded(4));
+        grid.advance_to(SimTime::from_secs(60));
+        let events = grid.drain_events();
+        assert!(!events.is_empty());
+        for pair in events.windows(2) {
+            let a = (pair[0].0, pair[0].1.seq);
+            let b = (pair[1].0, pair[1].1.seq);
+            assert!(a < b, "events out of (site, seq) order: {a:?} !< {b:?}");
+        }
+    }
+
+    #[test]
+    fn stack_over_sharded_grid_completes_jobs() {
+        let grid = GridBuilder::new()
+            .driver(DriverMode::sharded(2))
+            .site_with_load(SiteDescription::new(SiteId::new(1), "busy", 2, 1), 3.0)
+            .site(SiteDescription::new(SiteId::new(2), "free", 2, 1))
+            .build();
+        let stack = ServiceStack::over(grid);
+        let mut job = JobSpec::new(JobId::new(1), "demo", UserId::new(1));
+        job.add_task(
+            TaskSpec::new(TaskId::new(1), "t", "prime").with_cpu_demand(SimDuration::from_secs(60)),
+        );
+        stack.submit_job(job).unwrap();
+        stack.run_until(SimTime::from_secs(120));
+        let info = stack.jobmon.job_info(TaskId::new(1)).unwrap();
+        assert_eq!(info.status, TaskStatus::Completed);
+    }
+
+    #[test]
+    fn estimator_memo_caches_until_invalidated() {
+        let stack = ServiceStack::over(two_site_grid());
+        let site = SiteId::new(2);
+        let spec =
+            TaskSpec::new(TaskId::new(1), "t", "app").with_cpu_demand(SimDuration::from_secs(30));
+        let meta = gae_trace::TaskMeta::from_spec(&spec);
+        // Seed enough history for estimation to succeed.
+        for secs in [20u64, 25, 30, 35] {
+            stack
+                .estimators
+                .observe_completion(site, meta.clone(), SimDuration::from_secs(secs));
+        }
+        let first = stack.estimators.estimate_runtime(site, &spec).unwrap();
+        let (h0, m0) = stack.estimators.memo_stats();
+        let second = stack.estimators.estimate_runtime(site, &spec).unwrap();
+        let (h1, m1) = stack.estimators.memo_stats();
+        assert_eq!(first, second);
+        assert_eq!(h1, h0 + 1, "second identical estimate must hit the memo");
+        assert_eq!(m1, m0);
+        // A completion observation at the site invalidates its entries.
+        stack
+            .estimators
+            .observe_completion(site, meta, SimDuration::from_secs(90));
+        let third = stack.estimators.estimate_runtime(site, &spec).unwrap();
+        let (_, m2) = stack.estimators.memo_stats();
+        assert_eq!(m2, m1 + 1, "post-invalidation estimate must recompute");
+        // The recomputed estimate now reflects the observed history.
+        assert_ne!(first, third);
     }
 }

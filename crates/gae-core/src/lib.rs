@@ -65,7 +65,7 @@ pub mod submit;
 
 pub use analysis_session::{AnalysisSessionRpc, AnalysisSessionStore};
 pub use estimator::EstimatorService;
-pub use grid::{Grid, GridBuilder, ServiceStack};
+pub use grid::{DriverMode, Grid, GridBuilder, ServiceStack};
 pub use jobmon::JobMonitoringService;
 pub use monalisa::MonAlisaRpc;
 pub use provider::GridSiteInfo;

@@ -74,6 +74,28 @@ impl Service for MonAlisaRpc {
                 self.repo.publish_metric(key, at, params[4].as_f64()?);
                 Ok(Value::Bool(true))
             }
+            "publish_batch" => {
+                // publish_batch([{site, entity, param, at_us, value}, ...])
+                let batch = params
+                    .first()
+                    .ok_or_else(|| GaeError::Parse("publish_batch(samples)".into()))?
+                    .as_array()?;
+                let mut samples = Vec::with_capacity(batch.len());
+                for entry in batch {
+                    let key = MetricKey::new(
+                        SiteId::new(entry.member("site")?.as_u64()?),
+                        entry.member("entity")?.as_str()?.to_string(),
+                        entry.member("param")?.as_str()?.to_string(),
+                    );
+                    let sample = gae_monitor::Sample {
+                        at: SimTime::from_micros(entry.member("at_us")?.as_u64()?),
+                        value: entry.member("value")?.as_f64()?,
+                    };
+                    samples.push((key, sample));
+                }
+                let in_order = self.repo.publish_batch(samples);
+                Ok(Value::from(in_order as u64))
+            }
             "latest" => {
                 let key = Self::key_from(params)?;
                 Ok(match self.repo.latest(&key) {
@@ -146,6 +168,10 @@ impl Service for MonAlisaRpc {
             MethodInfo {
                 name: "publish",
                 help: "publish one metric sample",
+            },
+            MethodInfo {
+                name: "publish_batch",
+                help: "publish many metric samples in one call",
             },
             MethodInfo {
                 name: "latest",
@@ -274,5 +300,37 @@ mod tests {
         assert!(svc.call(&ctx(), "range", &[Value::from(1u64)]).is_err());
         assert!(svc.call(&ctx(), "nope", &[]).is_err());
         assert!(svc.call(&ctx(), "site_load", &[]).is_err());
+        assert!(svc.call(&ctx(), "publish_batch", &[]).is_err());
+        // A sample missing a field faults the whole batch.
+        let incomplete = Value::Array(vec![Value::struct_of([
+            ("site", Value::from(1u64)),
+            ("entity", Value::from("farm")),
+        ])]);
+        assert!(svc.call(&ctx(), "publish_batch", &[incomplete]).is_err());
+    }
+
+    #[test]
+    fn batch_publish_over_rpc() {
+        let repo = MonAlisaRepository::with_defaults();
+        let svc = MonAlisaRpc::new(repo.clone());
+        let sample = |site: u64, param: &str, at_us: u64, value: f64| {
+            Value::struct_of([
+                ("site", Value::from(site)),
+                ("entity", Value::from("farm")),
+                ("param", Value::from(param)),
+                ("at_us", Value::from(at_us)),
+                ("value", Value::Double(value)),
+            ])
+        };
+        let batch = Value::Array(vec![
+            sample(1, "cpu_load", 1_000_000, 0.25),
+            sample(1, "queue_length", 1_000_000, 4.0),
+            sample(2, "cpu_load", 1_000_000, 0.75),
+        ]);
+        let in_order = svc.call(&ctx(), "publish_batch", &[batch]).unwrap();
+        assert_eq!(in_order.as_u64().unwrap(), 3);
+        assert_eq!(repo.site_load(SiteId::new(1)), Some(0.25));
+        assert_eq!(repo.queue_length(SiteId::new(1)), Some(4.0));
+        assert_eq!(repo.site_load(SiteId::new(2)), Some(0.75));
     }
 }

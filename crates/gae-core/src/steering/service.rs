@@ -438,7 +438,11 @@ impl SteeringService {
     /// One steering round: track progress through the Job Monitoring
     /// Service, detect failures, recover, optimize, and notify.
     pub fn poll(&self) {
-        let job_ids: Vec<JobId> = self.jobs.read().keys().copied().collect();
+        let mut job_ids: Vec<JobId> = self.jobs.read().keys().copied().collect();
+        // The tracker is a HashMap; process in id order so a poll
+        // round is a deterministic function of the tracked state (the
+        // sharded-driver equivalence contract relies on this).
+        job_ids.sort();
         for job_id in job_ids {
             self.process_job(job_id);
         }

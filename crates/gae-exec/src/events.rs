@@ -10,6 +10,11 @@ use gae_types::{CondorId, NodeId, SimTime, TaskId, TaskStatus};
 /// A state change inside an execution site.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ExecEvent {
+    /// Site-local emission order, starting at 0 and never reused.
+    /// Together with the site id this totally orders events across the
+    /// grid, which is what lets a sharded driver merge per-site event
+    /// buffers back into the exact sequential drain order.
+    pub seq: u64,
     /// When it happened (virtual time).
     pub at: SimTime,
     /// Site-local id of the task.
@@ -39,6 +44,7 @@ mod tests {
     #[test]
     fn terminal_detection() {
         let mk = |status| ExecEvent {
+            seq: 0,
             at: SimTime::ZERO,
             condor: CondorId::new(1),
             task: TaskId::new(1),

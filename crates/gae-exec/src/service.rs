@@ -67,6 +67,8 @@ pub struct ExecutionService {
     now: SimTime,
     alive: bool,
     events: Vec<ExecEvent>,
+    /// Monotone per-site event sequence; stamps [`ExecEvent::seq`].
+    next_event_seq: u64,
     /// Condor-style fair share: when enabled, ties between queued
     /// tasks of equal priority are broken by the owners' accumulated
     /// CPU usage at this site (lighter users first) instead of FIFO.
@@ -113,6 +115,7 @@ impl ExecutionService {
             now: SimTime::ZERO,
             alive: true,
             events: Vec::new(),
+            next_event_seq: 0,
             fair_share: false,
             preemptive: false,
             usage: HashMap::new(),
@@ -753,7 +756,10 @@ impl ExecutionService {
     }
 
     fn emit(&mut self, rec: &TaskRecord, status: TaskStatus, detail: &str) {
+        let seq = self.next_event_seq;
+        self.next_event_seq += 1;
         self.events.push(ExecEvent {
+            seq,
             at: self.now,
             condor: rec.condor,
             task: rec.spec.id,

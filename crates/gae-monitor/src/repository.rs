@@ -66,6 +66,15 @@ impl MonAlisaRepository {
         self.metrics.write().publish(key, Sample { at, value });
     }
 
+    /// Publishes a batch of samples under a single store lock
+    /// acquisition. This is what the grid driver uses once per tick:
+    /// with hundreds of sites × nodes, taking the write lock per
+    /// metric dominates the publication cost. Returns the number of
+    /// samples that arrived in time order.
+    pub fn publish_batch(&self, samples: impl IntoIterator<Item = (MetricKey, Sample)>) -> usize {
+        self.metrics.write().publish_batch(samples)
+    }
+
     /// Publishes a site's farm-wide CPU load (what the scheduler reads
     /// in §6.1 step d).
     pub fn publish_site_load(&self, site: SiteId, at: SimTime, load: f64) {
@@ -286,6 +295,21 @@ mod tests {
         for t in 0..4 {
             assert_eq!(repo.site_load(SiteId::new(t)), Some(249.0));
         }
+    }
+
+    #[test]
+    fn batch_publish_via_repo() {
+        let repo = MonAlisaRepository::with_defaults();
+        let load = MetricKey::site_wide(SiteId::new(4), "cpu_load");
+        let queue = MetricKey::site_wide(SiteId::new(4), "queue_length");
+        let at = SimTime::from_secs(10);
+        let in_order = repo.publish_batch(vec![
+            (load.clone(), Sample { at, value: 1.5 }),
+            (queue.clone(), Sample { at, value: 7.0 }),
+        ]);
+        assert_eq!(in_order, 2);
+        assert_eq!(repo.site_load(SiteId::new(4)), Some(1.5));
+        assert_eq!(repo.queue_length(SiteId::new(4)), Some(7.0));
     }
 
     #[test]

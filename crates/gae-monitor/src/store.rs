@@ -7,21 +7,28 @@
 
 use gae_types::{SimTime, SiteId};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Address of one monitored parameter.
+///
+/// The entity and parameter names are interned (`Arc<str>`): cloning a
+/// key — which the publication hot path does once per node per tick —
+/// bumps two reference counts instead of copying two heap strings, so
+/// callers that publish repeatedly should build their keys once and
+/// clone them.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct MetricKey {
     /// The site the measurement describes.
     pub site: SiteId,
     /// Entity within the site ("node-3", "job-17", "farm").
-    pub entity: String,
+    pub entity: Arc<str>,
     /// Parameter name ("cpu_load", "queue_length", "job_state").
-    pub param: String,
+    pub param: Arc<str>,
 }
 
 impl MetricKey {
     /// Builds a key.
-    pub fn new(site: SiteId, entity: impl Into<String>, param: impl Into<String>) -> Self {
+    pub fn new(site: SiteId, entity: impl Into<Arc<str>>, param: impl Into<Arc<str>>) -> Self {
         MetricKey {
             site,
             entity: entity.into(),
@@ -30,7 +37,7 @@ impl MetricKey {
     }
 
     /// The site-wide key for a parameter (entity = `"farm"`).
-    pub fn site_wide(site: SiteId, param: impl Into<String>) -> Self {
+    pub fn site_wide(site: SiteId, param: impl Into<Arc<str>>) -> Self {
         Self::new(site, "farm", param)
     }
 }
@@ -78,6 +85,24 @@ impl TimeSeriesStore {
             // Insert maintaining time order.
             let pos = ring.partition_point(|s| s.at <= sample.at);
             ring.insert(pos, sample);
+        }
+        in_order
+    }
+
+    /// Records a whole batch of samples in one call. Equivalent to
+    /// publishing each `(key, sample)` in order; exists so callers that
+    /// guard the store with a lock (the MonALISA repository) can take
+    /// it once per tick instead of once per metric. Returns the number
+    /// of samples that arrived in time order (cf. [`Self::publish`]).
+    pub fn publish_batch(
+        &mut self,
+        samples: impl IntoIterator<Item = (MetricKey, Sample)>,
+    ) -> usize {
+        let mut in_order = 0;
+        for (key, sample) in samples {
+            if self.publish(key, sample) {
+                in_order += 1;
+            }
         }
         in_order
     }
@@ -280,5 +305,43 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         TimeSeriesStore::new(0);
+    }
+
+    #[test]
+    fn batch_matches_sequential_publishes() {
+        let mut batched = TimeSeriesStore::new(8);
+        let mut sequential = TimeSeriesStore::new(8);
+        let samples = vec![
+            (key(), s(1, 1.0)),
+            (key(), s(3, 3.0)),
+            (key(), s(2, 2.0)), // out of order
+            (
+                MetricKey::new(SiteId::new(2), "node-1", "cpu_load"),
+                s(1, 9.0),
+            ),
+        ];
+        let in_order = batched.publish_batch(samples.clone());
+        let mut expected_in_order = 0;
+        for (k, smp) in samples {
+            if sequential.publish(k, smp) {
+                expected_in_order += 1;
+            }
+        }
+        assert_eq!(in_order, expected_in_order);
+        assert_eq!(in_order, 3);
+        assert_eq!(batched.total_published(), sequential.total_published());
+        let window = (SimTime::ZERO, SimTime::from_secs(100));
+        assert_eq!(
+            batched.range(&key(), window.0, window.1),
+            sequential.range(&key(), window.0, window.1)
+        );
+    }
+
+    #[test]
+    fn cloned_keys_share_interned_names() {
+        let k = key();
+        let c = k.clone();
+        assert!(Arc::ptr_eq(&k.entity, &c.entity));
+        assert!(Arc::ptr_eq(&k.param, &c.param));
     }
 }

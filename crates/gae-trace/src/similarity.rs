@@ -31,7 +31,10 @@ pub enum Feature {
 
 /// The attribute tuple similarity is computed over, extractable from
 /// both accounting records and live task specs.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// `Eq`/`Hash` cover every field, so the tuple doubles as a lookup key
+/// (the estimator memoises per-`(site, TaskMeta)` results).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct TaskMeta {
     /// Account name (empty if unknown).
     pub account: String,

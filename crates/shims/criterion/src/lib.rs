@@ -1,0 +1,346 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use —
+//! [`Criterion`], [`criterion_group!`], [`criterion_main!`], benchmark
+//! groups, [`BenchmarkId`] and [`Bencher::iter`] — with straightforward
+//! wall-clock measurement (median of timed batches) instead of
+//! criterion's statistical machinery. Passing `--test` (as
+//! `cargo test --benches` does) runs every benchmark body once and
+//! skips measurement, which is the smoke mode CI uses.
+
+use std::time::{Duration, Instant};
+
+/// Target cumulative measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(300);
+/// Number of timed batches the median is taken over.
+const BATCHES: usize = 5;
+
+/// The benchmark driver.
+pub struct Criterion {
+    /// Smoke mode: run each body once, measure nothing.
+    test_mode: bool,
+    /// Substring filter from the command line, if any.
+    filter: Option<String>,
+    benches_run: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            filter: None,
+            benches_run: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (`--test` enables
+    /// smoke mode; a bare string becomes a name filter; criterion's
+    /// other flags are accepted and ignored).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                other if other.starts_with("--") => {}
+                other => c.filter = Some(other.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(name.to_string(), &mut body);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Prints the closing line [`criterion_main!`] emits.
+    pub fn final_summary(&self) {
+        if self.test_mode {
+            println!(
+                "criterion-shim: {} benchmarks smoke-tested",
+                self.benches_run
+            );
+        }
+    }
+
+    fn run<F>(&mut self, id: String, body: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        self.benches_run += 1;
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            nanos_per_iter: None,
+        };
+        body(&mut bencher);
+        match bencher.nanos_per_iter {
+            _ if self.test_mode => println!("{id:<50} ok (smoke)"),
+            Some(ns) => println!("{id:<50} {:>14}/iter", format_nanos(ns)),
+            None => println!("{id:<50} (no measurement)"),
+        }
+    }
+}
+
+fn format_nanos(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut body: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.criterion.run(id, &mut body);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, P: ?Sized, F>(&mut self, id: I, input: &P, mut body: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.criterion
+            .run(id, &mut |b: &mut Bencher| body(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    rendered: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            rendered: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds a parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            rendered: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as benchmark identifiers.
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.rendered
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark bodies; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    test_mode: bool,
+    nanos_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`: median ns/iteration over several batches
+    /// (one plain call in `--test` smoke mode).
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Calibrate: how many iterations fit one batch.
+        let calibration = Instant::now();
+        std::hint::black_box(routine());
+        let once = calibration.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (TARGET.as_nanos() / BATCHES as u128 / once.as_nanos()).clamp(1, 1 << 24);
+        let mut samples = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / per_batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.nanos_per_iter = Some(samples[samples.len() / 2]);
+    }
+
+    /// Like [`Bencher::iter`], but each iteration consumes a fresh
+    /// input from `setup`, whose cost is excluded from the timing
+    /// (each routine call is timed individually).
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+        let input = setup();
+        let calibration = Instant::now();
+        std::hint::black_box(routine(input));
+        let once = calibration.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (TARGET.as_nanos() / BATCHES as u128 / once.as_nanos()).clamp(1, 1 << 24);
+        let mut samples = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let mut batch = Duration::ZERO;
+            for _ in 0..per_batch {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                batch += start.elapsed();
+            }
+            samples.push(batch.as_nanos() as f64 / per_batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.nanos_per_iter = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Bundles benchmark functions into a named group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+/// Re-export matching criterion's own `black_box` surface.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            test_mode: false,
+            nanos_per_iter: None,
+        };
+        b.iter(|| std::hint::black_box(2u64 + 2));
+        assert!(b.nanos_per_iter.is_some());
+        assert!(b.nanos_per_iter.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut calls = 0;
+        let mut b = Bencher {
+            test_mode: true,
+            nanos_per_iter: None,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.nanos_per_iter.is_none());
+    }
+
+    #[test]
+    fn iter_with_setup_feeds_fresh_inputs() {
+        let mut b = Bencher {
+            test_mode: true,
+            nanos_per_iter: None,
+        };
+        let mut next = 0u64;
+        let mut seen = Vec::new();
+        b.iter_with_setup(
+            || {
+                next += 1;
+                next
+            },
+            |input| seen.push(input),
+        );
+        assert_eq!(seen, vec![1]);
+    }
+
+    #[test]
+    fn groups_and_filters() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("keep".into()),
+            benches_run: 0,
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_function("keep_this", |b| b.iter(|| 1));
+        group.bench_function("skip_this", |b| b.iter(|| 1));
+        group.bench_with_input(BenchmarkId::new("keep", 4), &4, |b, &n| b.iter(|| n * 2));
+        group.finish();
+        assert_eq!(c.benches_run, 2);
+    }
+}

@@ -1,0 +1,609 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this shim
+//! reimplements the slice of proptest the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map` / `prop_recursive` /
+//! `boxed`, strategies for ranges, tuples, collections, regex-like
+//! string patterns and `any::<T>()`, plus the [`proptest!`],
+//! [`prop_oneof!`] and `prop_assert*` macros.
+//!
+//! Semantic differences from real proptest, all acceptable for these
+//! tests:
+//!
+//! * **No shrinking.** A failing case panics with the case number and
+//!   deterministic seed instead of a minimised input.
+//! * **String patterns** support the subset of regex syntax the
+//!   workspace uses (char classes, `.`, `{m,n}`, `*`, `+`, `?`,
+//!   literals), not full regex.
+//! * Case seeds derive from the test's module path and case index, so
+//!   every run explores the same inputs (override count with
+//!   `PROPTEST_CASES`).
+
+use std::rc::Rc;
+
+pub mod test_runner;
+
+pub use test_runner::{ProptestConfig, TestRng};
+
+// ---------------------------------------------------------------- strategy
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filters generated values, retrying until `f` accepts one
+    /// (gives up after 1000 rejections).
+    fn prop_filter<F>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f }
+    }
+
+    /// Builds recursive structures: `recurse` receives a strategy for
+    /// the inner level and returns the composite level. Up to `depth`
+    /// levels of nesting are generated, leaves taken from `self`.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut current = self.boxed();
+        for _ in 0..depth {
+            let leaf = current.clone();
+            let composite = recurse(current).boxed();
+            current = Union::new(vec![leaf, composite]).boxed();
+        }
+        current
+    }
+
+    /// Type-erases the strategy (cheaply cloneable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cloneable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 candidates in a row");
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives ([`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over the given arms (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.draw_index(self.arms.len());
+        self.arms[pick].generate(rng)
+    }
+}
+
+// Ranges are strategies, sampling uniformly.
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: rand::SampleUniform + 'static,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_between(rng.rng(), self.start, self.end, false)
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: rand::SampleUniform + 'static,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_between(rng.rng(), *self.start(), *self.end(), true)
+    }
+}
+
+// String patterns (regex subset) are strategies producing Strings.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::pattern::generate_matching(self, rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------- arbitrary
+
+/// Types with a canonical `any::<T>()` strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Any<T> {}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                <$t as rand::Standard>::sample(rng.rng())
+            }
+        }
+    )*};
+}
+arbitrary_via_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// ---------------------------------------------------------------- modules
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Acceptable size specifications for collections.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn draw_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn draw_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn draw_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty collection size range");
+            self.start + rng.draw_index(self.end - self.start)
+        }
+    }
+
+    /// Strategy for `Vec<T>` with lengths drawn from `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.draw_len(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K, V>` with *up to* `size` entries
+    /// (duplicate keys collapse, as in real proptest).
+    pub fn btree_map<K, V, Z>(key: K, value: V, size: Z) -> BTreeMapStrategy<K, V, Z>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        Z: SizeRange,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    /// See [`btree_map`].
+    pub struct BTreeMapStrategy<K, V, Z> {
+        key: K,
+        value: V,
+        size: Z,
+    }
+
+    impl<K, V, Z> Strategy for BTreeMapStrategy<K, V, Z>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        Z: SizeRange,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.draw_len(rng);
+            (0..len)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+pub mod num {
+    //! Numeric strategies beyond plain ranges.
+
+    pub mod f64 {
+        //! `f64`-classified strategies.
+
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Strategy producing normal (finite, non-zero, non-subnormal)
+        /// doubles of either sign across the full exponent range.
+        pub const NORMAL: NormalF64 = NormalF64;
+
+        /// See [`NORMAL`].
+        #[derive(Clone, Copy, Debug)]
+        pub struct NormalF64;
+
+        impl Strategy for NormalF64 {
+            type Value = f64;
+            fn generate(&self, rng: &mut TestRng) -> f64 {
+                let rng = rng.rng();
+                let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                let exponent = rng.gen_range(-300i32..300);
+                let mantissa = rng.gen_range(1.0f64..2.0);
+                let v = sign * mantissa * 2f64.powi(exponent);
+                debug_assert!(v.is_normal());
+                v
+            }
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers.
+
+    use crate::{Arbitrary, TestRng};
+
+    /// An index into a collection of as-yet-unknown size.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolves against a concrete length (must be non-zero).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(<u64 as rand::Standard>::sample(rng.rng()))
+        }
+    }
+}
+
+mod pattern;
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+
+    /// Namespaced access to strategy modules (`prop::collection::vec`
+    /// and friends), mirroring real proptest's prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::sample;
+    }
+}
+
+// ---------------------------------------------------------------- macros
+
+/// Defines property tests. Supports the optional
+/// `#![proptest_config(...)]` header and any number of test
+/// functions with `pattern in strategy` parameters.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!{ $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($cfg:expr; $(
+        $(#[$attr:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let cases = config.effective_cases();
+            for case in 0..cases {
+                let mut rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    move || $body,
+                ));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest: {} failed at case {}/{} (deterministic seed; \
+                         re-run reproduces it)",
+                        stringify!($name),
+                        case + 1,
+                        cases,
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+/// Uniform choice between strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $( $crate::Strategy::boxed($arm) ),+ ])
+    };
+}
+
+/// Asserts inside a property (plain `assert!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_maps_generate() {
+        let mut rng = crate::TestRng::for_case("shim::ranges", 0);
+        let s = (1u64..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = crate::Strategy::generate(&s, &mut rng);
+            assert!(v % 2 == 0 && (2..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = crate::TestRng::for_case("shim::oneof", 0);
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[crate::Strategy::generate(&s, &mut rng) as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+
+    #[test]
+    fn pattern_strategy_matches_class() {
+        let mut rng = crate::TestRng::for_case("shim::pattern", 0);
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[a-zA-Z_][a-zA-Z0-9_.-]{0,12}", &mut rng);
+            let mut chars = s.chars();
+            let first = chars.next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_', "{s:?}");
+            assert!(s.chars().count() <= 13, "{s:?}");
+            for c in chars {
+                assert!(
+                    c.is_ascii_alphanumeric() || "._-".contains(c),
+                    "{c:?} in {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = crate::TestRng::for_case("shim::collections", 0);
+        let s = prop::collection::vec(any::<u8>(), 3..6);
+        for _ in 0..100 {
+            let v = crate::Strategy::generate(&s, &mut rng);
+            assert!((3..6).contains(&v.len()));
+        }
+        let m = prop::collection::btree_map(0u8..50, any::<bool>(), 0..8);
+        for _ in 0..50 {
+            let v = crate::Strategy::generate(&m, &mut rng);
+            assert!(v.len() < 8);
+        }
+    }
+
+    #[test]
+    fn normal_floats_are_normal() {
+        let mut rng = crate::TestRng::for_case("shim::normal", 0);
+        for _ in 0..1000 {
+            assert!(crate::Strategy::generate(&prop::num::f64::NORMAL, &mut rng).is_normal());
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = any::<u8>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 8, 4, |inner| {
+                prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut rng = crate::TestRng::for_case("shim::recursive", 0);
+        let mut max_depth = 0;
+        for _ in 0..300 {
+            let t = crate::Strategy::generate(&strat, &mut rng);
+            max_depth = max_depth.max(depth(&t));
+        }
+        assert!(max_depth > 1, "recursion never fired");
+        assert!(max_depth <= 5, "depth cap exceeded: {max_depth}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_roundtrip(x in 0u32..100, flip in any::<bool>()) {
+            let y = if flip { x } else { x };
+            prop_assert_eq!(x, y);
+            prop_assert!(y < 100);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! String generation from a regex subset.
+//!
+//! Supports the constructs the workspace's patterns use: literal
+//! characters, `.`, character classes `[a-z0-9_.-]` (ranges and
+//! singletons, `-` literal when trailing), and the quantifiers
+//! `{m}`, `{m,n}`, `*`, `+`, `?`. Unsupported syntax panics rather
+//! than silently generating wrong strings.
+
+use crate::TestRng;
+use rand::Rng;
+
+/// One generatable atom.
+enum Atom {
+    /// A fixed character.
+    Literal(char),
+    /// Any printable character (the `.` class).
+    Dot,
+    /// A character class: closed ranges plus singletons.
+    Class(Vec<(char, char)>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Characters `.` draws from: printable ASCII plus a few multi-byte
+/// and XML-hostile characters so escaping paths get exercised.
+const DOT_EXTRAS: &[char] = &['\n', '\t', 'é', 'λ', '✓', '&', '<', '>', '"', '\''];
+
+/// Cap for unbounded quantifiers (`*`, `+`).
+const UNBOUNDED_CAP: usize = 16;
+
+/// Generates a string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let span = piece.max - piece.min + 1;
+        let count = piece.min + rng.draw_index(span);
+        for _ in 0..count {
+            out.push(draw_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+fn draw_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Dot => {
+            // Mostly printable ASCII, occasionally an extra.
+            if rng.draw_index(8) == 0 {
+                DOT_EXTRAS[rng.draw_index(DOT_EXTRAS.len())]
+            } else {
+                char::from(b' ' + rng.draw_index(95) as u8)
+            }
+        }
+        Atom::Class(ranges) => {
+            let (lo, hi) = ranges[rng.draw_index(ranges.len())];
+            let span = hi as u32 - lo as u32 + 1;
+            char::from_u32(lo as u32 + rng.rng().gen_range(0..span)).expect("valid class char")
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"))
+                    + i;
+                let atom = parse_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                atom
+            }
+            '.' => {
+                i += 1;
+                Atom::Dot
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                Atom::Literal(c)
+            }
+            '(' | ')' | '|' | '^' | '$' => {
+                panic!(
+                    "unsupported regex construct {:?} in pattern {pattern:?}",
+                    chars[i]
+                )
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                i += 1;
+                (1, UNBOUNDED_CAP)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed quantifier in pattern {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("quantifier lower bound"),
+                        hi.parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = body.parse().expect("exact quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Atom {
+    assert!(
+        !body.is_empty() && body[0] != '^',
+        "unsupported class in pattern {pattern:?}"
+    );
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            assert!(body[i] <= body[i + 2], "inverted range in {pattern:?}");
+            ranges.push((body[i], body[i + 2]));
+            i += 3;
+        } else {
+            // Singleton (covers a trailing literal `-` too).
+            ranges.push((body[i], body[i]));
+            i += 1;
+        }
+    }
+    Atom::Class(ranges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("pattern::tests", 0)
+    }
+
+    #[test]
+    fn literal_patterns_reproduce() {
+        assert_eq!(generate_matching("abc", &mut rng()), "abc");
+    }
+
+    #[test]
+    fn quantified_class_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = generate_matching("[a-c]{2,4}", &mut r);
+            assert!((2..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn star_and_plus_capped() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("x*", &mut r);
+            assert!(s.chars().count() <= UNBOUNDED_CAP);
+            let p = generate_matching("y+", &mut r);
+            assert!((1..=UNBOUNDED_CAP).contains(&p.chars().count()));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut r = rng();
+        for _ in 0..300 {
+            let s = generate_matching("[a-b-]", &mut r);
+            assert!(s == "a" || s == "b" || s == "-", "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_star_varies() {
+        let mut r = rng();
+        let distinct: std::collections::BTreeSet<String> =
+            (0..50).map(|_| generate_matching(".*", &mut r)).collect();
+        assert!(distinct.len() > 10, "dot-star barely varies");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex construct")]
+    fn alternation_rejected() {
+        generate_matching("a|b", &mut rng());
+    }
+}

@@ -1,0 +1,90 @@
+//! Per-case configuration and the deterministic test RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hash::{Hash, Hasher};
+
+/// Mirror of `proptest::test_runner::Config` for the options the
+/// workspace sets.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` override.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// Matches real proptest's 256-case default.
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies: deterministic per (test, case).
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG for one case of one named test. The seed is a pure
+    /// function of the test path and case index, so failures
+    /// reproduce on re-run.
+    pub fn for_case(test_path: &str, case: u32) -> Self {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        test_path.hash(&mut hasher);
+        let seed = hasher
+            .finish()
+            .wrapping_add(u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying generator, for strategies that sample directly.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+
+    /// A uniform index into `len` items (`len` must be non-zero).
+    pub fn draw_index(&mut self, len: usize) -> usize {
+        use rand::RngCore;
+        assert!(len > 0, "draw_index on empty set");
+        (self.inner.next_u64() % len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn cases_are_deterministic_and_distinct() {
+        let mut a = TestRng::for_case("x::y", 0);
+        let mut b = TestRng::for_case("x::y", 0);
+        let mut c = TestRng::for_case("x::y", 1);
+        let (va, vb, vc) = (a.rng().next_u64(), b.rng().next_u64(), c.rng().next_u64());
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn config_defaults() {
+        assert_eq!(ProptestConfig::default().cases, 256);
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+    }
+}

@@ -67,7 +67,7 @@ pub use gae_wire as wire;
 /// Everything most programs need, in one import.
 pub mod prelude {
     pub use gae_core::estimator::{EstimationMethod, RuntimeEstimator};
-    pub use gae_core::grid::{Grid, GridBuilder, ServiceStack};
+    pub use gae_core::grid::{DriverMode, Grid, GridBuilder, ServiceStack};
     pub use gae_core::jobmon::{JobMonitoringInfo, JobMonitoringService};
     pub use gae_core::steering::{Notification, SteeringCommand, SteeringPolicy, SteeringService};
     pub use gae_core::{EstimatorService, QuotaService};

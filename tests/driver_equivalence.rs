@@ -1,0 +1,181 @@
+//! Sequential ≡ sharded driver equivalence, property-tested.
+//!
+//! The sharded grid driver (DESIGN.md, "Sharded driver determinism
+//! contract") promises bit-identical observable behaviour to the
+//! sequential one: same final task states, same completion times, and
+//! the same MonALISA metric series sample-for-sample. This suite
+//! drives randomly generated grids — 1..=64 sites with mixed loads,
+//! flocking edges, multi-job random DAG workloads, zero-length tasks
+//! included — through both drivers and compares everything observable.
+
+use gae::monitor::{MetricKey, Sample};
+use gae::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Per job: task demands in seconds and raw dependency index pairs.
+type JobShape = (Vec<u64>, Vec<(usize, usize)>);
+/// Per task: (status, site, started, completed) once monitoring saw it.
+type TaskOutcome = (TaskStatus, SiteId, Option<SimTime>, Option<SimTime>);
+
+/// One generated grid + workload, in plain data form so the same
+/// scenario can be materialised twice.
+#[derive(Clone, Debug)]
+struct Scenario {
+    /// Per site: (nodes, slots per node, external load in quarters).
+    sites: Vec<(u32, u32, u64)>,
+    /// Flocking edges as site-index pairs (self-edges skipped).
+    flock_edges: Vec<(usize, usize)>,
+    /// Per job: task demands in seconds (0 = zero-length task) and
+    /// dependency edges as task-index pairs (applied low → high).
+    jobs: Vec<JobShape>,
+    /// Worker count for the sharded run.
+    threads: usize,
+    /// Horizon to drive both stacks to.
+    horizon_s: u64,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    let site = (1u32..5, 1u32..3, 0u64..4);
+    let edge = (any::<prop::sample::Index>(), any::<prop::sample::Index>());
+    let job = (
+        prop::collection::vec(0u64..120, 1..8),
+        prop::collection::vec(edge, 0..6),
+    );
+    (
+        prop::collection::vec(site, 1..65),
+        prop::collection::vec(edge, 0..8),
+        prop::collection::vec(job, 1..4),
+        1usize..9,
+        50u64..250,
+    )
+        .prop_map(|(sites, raw_flocks, raw_jobs, threads, horizon_s)| {
+            let n = sites.len();
+            let flock_edges = raw_flocks
+                .into_iter()
+                .map(|(a, b)| (a.index(n), b.index(n)))
+                .collect();
+            let jobs = raw_jobs
+                .into_iter()
+                .map(|(demands, raw_deps)| {
+                    let t = demands.len();
+                    let deps = raw_deps
+                        .into_iter()
+                        .map(|(a, b)| (a.index(t), b.index(t)))
+                        .collect();
+                    (demands, deps)
+                })
+                .collect();
+            Scenario {
+                sites,
+                flock_edges,
+                jobs,
+                threads,
+                horizon_s,
+            }
+        })
+}
+
+/// Everything observable about one run.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    now: SimTime,
+    /// Per task id: `None` if monitoring never saw it.
+    tasks: Vec<Option<TaskOutcome>>,
+    /// Per site: the full cpu_load and queue_length series.
+    series: Vec<(Vec<Sample>, Vec<Sample>)>,
+}
+
+fn materialise(scenario: &Scenario, driver: DriverMode) -> (Arc<ServiceStack>, Vec<TaskId>) {
+    let mut builder = GridBuilder::new().driver(driver);
+    for (i, (nodes, slots, load_quarters)) in scenario.sites.iter().enumerate() {
+        let desc = SiteDescription::new(SiteId::new(i as u64 + 1), format!("s{i}"), *nodes, *slots);
+        builder = if *load_quarters == 0 {
+            builder.site(desc)
+        } else {
+            builder.site_with_load(desc, *load_quarters as f64 * 0.25)
+        };
+    }
+    let grid = builder.build();
+    for (a, b) in &scenario.flock_edges {
+        if a != b {
+            grid.enable_flocking(SiteId::new(*a as u64 + 1), SiteId::new(*b as u64 + 1));
+        }
+    }
+    let stack = ServiceStack::over(grid);
+    let mut all_tasks = Vec::new();
+    for (j, (demands, deps)) in scenario.jobs.iter().enumerate() {
+        let job_no = j as u64 + 1;
+        let mut job = JobSpec::new(JobId::new(job_no), format!("job{job_no}"), UserId::new(1));
+        let mut ids = Vec::new();
+        for (k, demand) in demands.iter().enumerate() {
+            let id = TaskId::new(job_no * 1000 + k as u64);
+            job.add_task(
+                TaskSpec::new(id, format!("t{job_no}-{k}"), "app")
+                    .with_cpu_demand(SimDuration::from_secs(*demand)),
+            );
+            ids.push(id);
+        }
+        for (a, b) in deps {
+            let (lo, hi) = (a.min(b), a.max(b));
+            if lo != hi {
+                job.add_dependency(ids[*lo], ids[*hi]);
+            }
+        }
+        // Scheduling can legitimately fail (e.g. quota); both runs see
+        // the identical spec, so an error is equivalence-preserving.
+        if stack.submit_job(job).is_ok() {
+            all_tasks.extend(ids);
+        }
+    }
+    (stack, all_tasks)
+}
+
+fn run(scenario: &Scenario, driver: DriverMode) -> Outcome {
+    let (stack, tasks) = materialise(scenario, driver);
+    stack.run_until(SimTime::from_secs(scenario.horizon_s));
+    let tasks = tasks
+        .iter()
+        .map(|t| {
+            stack
+                .jobmon
+                .job_info(*t)
+                .ok()
+                .map(|i| (i.status, i.site, i.started_at, i.completed_at))
+        })
+        .collect();
+    let horizon = SimTime::from_secs(scenario.horizon_s);
+    let series = (1..=scenario.sites.len() as u64)
+        .map(|s| {
+            let site = SiteId::new(s);
+            (
+                stack.grid.monitor().range(
+                    &MetricKey::site_wide(site, "cpu_load"),
+                    SimTime::ZERO,
+                    horizon,
+                ),
+                stack.grid.monitor().range(
+                    &MetricKey::site_wide(site, "queue_length"),
+                    SimTime::ZERO,
+                    horizon,
+                ),
+            )
+        })
+        .collect();
+    Outcome {
+        now: stack.grid.now(),
+        tasks,
+        series,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sharded_driver_matches_sequential(scenario in arb_scenario()) {
+        let sequential = run(&scenario, DriverMode::Sequential);
+        let sharded = run(&scenario, DriverMode::sharded(scenario.threads));
+        prop_assert_eq!(sequential, sharded);
+    }
+}

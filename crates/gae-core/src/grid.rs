@@ -10,9 +10,11 @@
 
 use crate::estimator::EstimatorService;
 use crate::jobmon::JobMonitoringService;
+use crate::persist::{self, Persistence, PersistenceConfig, RecoveryReport};
 use crate::provider::GridSiteInfo;
 use crate::quota::QuotaService;
 use crate::steering::{SteeringPolicy, SteeringService};
+use gae_durable::DurableStore;
 use gae_exec::{Checkpoint, ExecEvent, ExecutionService, SiteConfig};
 use gae_monitor::{MetricKey, MonAlisaRepository, Sample};
 use gae_sched::Scheduler;
@@ -88,6 +90,8 @@ pub struct Grid {
     metric_keys: BTreeMap<SiteId, SiteMetricKeys>,
     /// Sequential or sharded advancement (fixed at build time).
     driver: DriverMode,
+    /// Where a service stack over this grid should persist itself.
+    persist_config: Option<PersistenceConfig>,
 }
 
 /// Builder for [`Grid`].
@@ -96,6 +100,7 @@ pub struct GridBuilder {
     network: NetworkModel,
     monitor: Option<Arc<MonAlisaRepository>>,
     driver: DriverMode,
+    persist: Option<PersistenceConfig>,
 }
 
 impl GridBuilder {
@@ -106,12 +111,22 @@ impl GridBuilder {
             network: NetworkModel::wan_2005(),
             monitor: None,
             driver: DriverMode::Sequential,
+            persist: None,
         }
     }
 
     /// Selects the advancement driver (sequential by default).
     pub fn driver(mut self, driver: DriverMode) -> Self {
         self.driver = driver;
+        self
+    }
+
+    /// Asks any [`ServiceStack`] built over this grid to persist its
+    /// state (WAL + snapshots) in `config.dir`. Creating a stack over
+    /// a directory that already holds a store fails — recover it with
+    /// [`ServiceStack::recover_from_disk`] instead.
+    pub fn persist(mut self, config: PersistenceConfig) -> Self {
+        self.persist = Some(config);
         self
     }
 
@@ -198,6 +213,7 @@ impl GridBuilder {
             flock_partners: RwLock::new(BTreeMap::new()),
             metric_keys,
             driver: self.driver,
+            persist_config: self.persist,
         });
         grid.publish_metrics();
         grid
@@ -298,6 +314,11 @@ impl Grid {
     /// The configured advancement driver.
     pub fn driver_mode(&self) -> DriverMode {
         self.driver
+    }
+
+    /// The persistence configuration the builder attached, if any.
+    pub fn persistence_config(&self) -> Option<&PersistenceConfig> {
+        self.persist_config.as_ref()
     }
 
     /// The sites partitioned into at most `threads` contiguous chunks
@@ -605,17 +626,54 @@ pub struct ServiceStack {
     /// How often the polling services run (collector + steering).
     poll_period: SimDuration,
     next_poll: Mutex<SimTime>,
+    /// The durable store, when the grid was built with
+    /// [`GridBuilder::persist`] or recovered from disk.
+    persistence: RwLock<Option<Arc<Persistence>>>,
+    /// Interned keys for the estimator memo-cache counters published
+    /// each poll (`(site 0, "estimator", "memo_hits"/"memo_misses")`).
+    memo_keys: (MetricKey, MetricKey),
 }
 
 impl ServiceStack {
     /// Wires the whole architecture with default policies.
+    ///
+    /// Panics if the grid carries a persistence configuration whose
+    /// directory cannot be initialised; use
+    /// [`ServiceStack::try_with_policy`] to handle that as an error.
     pub fn over(grid: Arc<Grid>) -> Arc<ServiceStack> {
         Self::with_policy(grid, SteeringPolicy::default(), SimDuration::from_secs(5))
     }
 
     /// Wires the architecture with an explicit steering policy and
-    /// polling period.
+    /// polling period. Panics under the same conditions as
+    /// [`ServiceStack::over`]; infallible for non-persistent grids.
     pub fn with_policy(
+        grid: Arc<Grid>,
+        policy: SteeringPolicy,
+        poll_period: SimDuration,
+    ) -> Arc<ServiceStack> {
+        Self::try_with_policy(grid, policy, poll_period).expect("persistence initialisation failed")
+    }
+
+    /// Wires the architecture, initialising the durable store when the
+    /// grid was built with [`GridBuilder::persist`]. Fails if the
+    /// persistence directory already holds a store (recover it with
+    /// [`ServiceStack::recover_from_disk`] instead) or cannot be
+    /// written.
+    pub fn try_with_policy(
+        grid: Arc<Grid>,
+        policy: SteeringPolicy,
+        poll_period: SimDuration,
+    ) -> GaeResult<Arc<ServiceStack>> {
+        let stack = Self::assemble(grid, policy, poll_period);
+        if let Some(config) = stack.grid.persistence_config().cloned() {
+            stack.attach_persistence(Persistence::create(&config)?);
+        }
+        Ok(stack)
+    }
+
+    /// Wires the services without touching any persistence.
+    fn assemble(
         grid: Arc<Grid>,
         policy: SteeringPolicy,
         poll_period: SimDuration,
@@ -640,6 +698,10 @@ impl ServiceStack {
             quota.clone(),
             policy,
         ));
+        let memo_keys = (
+            MetricKey::new(SiteId::new(0), "estimator", "memo_hits"),
+            MetricKey::new(SiteId::new(0), "estimator", "memo_misses"),
+        );
         Arc::new(ServiceStack {
             grid,
             quota,
@@ -649,7 +711,22 @@ impl ServiceStack {
             steering,
             poll_period,
             next_poll: Mutex::new(SimTime::ZERO + poll_period),
+            persistence: RwLock::new(None),
+            memo_keys,
         })
+    }
+
+    /// Routes every future state transition of the job repository and
+    /// the steering tracker through the WAL.
+    fn attach_persistence(&self, persistence: Arc<Persistence>) {
+        self.jobmon.attach_persistence(persistence.clone());
+        self.steering.attach_persistence(persistence.clone());
+        *self.persistence.write() = Some(persistence);
+    }
+
+    /// The durable store, when one is attached.
+    pub fn persistence(&self) -> Option<Arc<Persistence>> {
+        self.persistence.read().clone()
     }
 
     /// Schedules a job and registers the concrete plan with the
@@ -691,6 +768,62 @@ impl ServiceStack {
         }
         self.jobmon.poll();
         self.steering.poll();
+        // Publish the estimator memo-cache counters (PR-1 perf work)
+        // so dashboards and the `monalisa.*` RPC facade can watch hit
+        // rates; keys are interned at construction.
+        let (hits, misses) = self.estimators.memo_stats();
+        let at = self.grid.now();
+        self.grid.monitor().publish_batch(vec![
+            (
+                self.memo_keys.0.clone(),
+                Sample {
+                    at,
+                    value: hits as f64,
+                },
+            ),
+            (
+                self.memo_keys.1.clone(),
+                Sample {
+                    at,
+                    value: misses as f64,
+                },
+            ),
+        ]);
+    }
+
+    /// A full, deterministic image of every persisted service.
+    fn snapshot_state(&self) -> persist::SnapshotState {
+        let (metrics, metrics_published) = self.grid.monitor().metrics_snapshot();
+        persist::SnapshotState {
+            events: self.grid.monitor().events_snapshot(),
+            evicted: self.grid.monitor().evicted_count(),
+            metrics,
+            metrics_published,
+            jobmon: self.jobmon.db_snapshot(),
+            steering: self.steering.export_jobs(),
+            balances: self.quota.balances_snapshot(),
+            ledger: self.quota.ledger(),
+        }
+    }
+
+    /// Durably commits everything logged since the last checkpoint
+    /// (one group-commit batch), rotating to a fresh snapshot
+    /// generation when the snapshot cadence has elapsed. Returns the
+    /// new commit index; a no-op `Ok(0)` when no store is attached.
+    ///
+    /// [`ServiceStack::run_until`] checkpoints automatically at its
+    /// horizon, so every `run_until` call is a recovery point.
+    pub fn checkpoint(&self) -> GaeResult<u64> {
+        let Some(p) = self.persistence() else {
+            return Ok(0);
+        };
+        let index = p.commit()?;
+        let now = self.grid.now();
+        if p.snapshot_due(now) {
+            let snapshot = persist::encode_snapshot(&self.snapshot_state());
+            p.rotate(now, &snapshot)?;
+        }
+        Ok(index)
     }
 
     /// Drives the grid and the polling services to `t`.
@@ -737,6 +870,91 @@ impl ServiceStack {
         }
         // Final poll at the horizon so callers observe fresh state.
         self.poll();
+        // Every run_until horizon is a durable commit point.
+        self.checkpoint().expect("durable checkpoint failed");
+    }
+
+    /// Rebuilds a crashed stack from `config.dir`: recovers the
+    /// newest intact snapshot plus the longest committed WAL prefix
+    /// (falling back one generation if the newest snapshot is
+    /// corrupt), replays every committed record, re-arms exactly-once
+    /// resubmission of the tasks that were in flight, and resumes
+    /// logging into a fresh generation.
+    ///
+    /// The rebuilt state is exactly the state at the reported
+    /// [`RecoveryReport::commit_index`] — uncommitted work (anything
+    /// after the last [`ServiceStack::checkpoint`]) is lost, never
+    /// half-applied. The virtual clock restarts at zero; resubmitted
+    /// tasks restart from scratch (their checkpoints died with the
+    /// process in this model).
+    pub fn recover_from_disk(
+        grid: Arc<Grid>,
+        policy: SteeringPolicy,
+        poll_period: SimDuration,
+        config: &PersistenceConfig,
+    ) -> GaeResult<(Arc<ServiceStack>, RecoveryReport)> {
+        let recovered = DurableStore::recover(&config.dir)?;
+        let stack = Self::assemble(grid, policy, poll_period);
+        let mut report = RecoveryReport::from_recovered(&recovered);
+
+        // 1. Snapshot restore (no publication, no logging).
+        let snap = persist::decode_snapshot(&recovered.snapshot)?;
+        stack
+            .grid
+            .monitor()
+            .restore_events(snap.events, snap.evicted);
+        stack
+            .grid
+            .monitor()
+            .restore_metrics(snap.metrics, snap.metrics_published);
+        for info in snap.jobmon {
+            stack.jobmon.restore_info(info);
+        }
+        for job in snap.steering {
+            stack.steering.restore_job(job);
+        }
+        stack.quota.restore(snap.balances, snap.ledger);
+
+        // 2. Replay the committed WAL records, in log order.
+        for record in &recovered.records {
+            let (kind, body) = persist::decode_record(record)?;
+            match kind.as_str() {
+                "jobmon" => {
+                    let info = crate::jobmon::JobMonitoringInfo::from_value(&body)?;
+                    stack.jobmon.replay_info(info);
+                }
+                "plan" => stack
+                    .steering
+                    .replay_plan(persist::plan_from_record(&body)?)?,
+                "task" => {
+                    let (job, task) = persist::task_from_record(&body)?;
+                    stack.steering.replay_task(job, task);
+                }
+                "notified" => {
+                    let job = gae_types::JobId::new(body.member("job")?.as_u64()?);
+                    stack.steering.replay_notified(job);
+                }
+                "charge" => stack
+                    .quota
+                    .apply_charge(persist::charge_from_record(&body)?),
+                other => {
+                    return Err(GaeError::Parse(format!(
+                        "unknown wal record kind {other:?}"
+                    )))
+                }
+            }
+        }
+
+        // 3. Resume the store in a new generation anchored at a fresh
+        //    snapshot of the rebuilt state, and re-attach logging.
+        let snapshot = persist::encode_snapshot(&stack.snapshot_state());
+        let persistence = Persistence::resume(config, &recovered, &snapshot, stack.grid.now())?;
+        stack.attach_persistence(persistence);
+
+        // 4. Re-arm: resubmit everything the log says was in flight.
+        report.resubmitted = stack.steering.rearm_submitted()?;
+        stack.checkpoint()?;
+        Ok((stack, report))
     }
 }
 

@@ -6,6 +6,7 @@
 //! (§5.4)
 
 use crate::jobmon::info::JobMonitoringInfo;
+use crate::persist::Persistence;
 use gae_monitor::{JobEvent, MonAlisaRepository};
 use gae_types::{JobId, TaskId};
 use parking_lot::RwLock;
@@ -17,6 +18,7 @@ pub struct DbManager {
     snapshots: RwLock<HashMap<TaskId, JobMonitoringInfo>>,
     by_job: RwLock<HashMap<JobId, Vec<TaskId>>>,
     monitor: Arc<MonAlisaRepository>,
+    persist: RwLock<Option<Arc<Persistence>>>,
 }
 
 impl DbManager {
@@ -26,12 +28,29 @@ impl DbManager {
             snapshots: RwLock::new(HashMap::new()),
             by_job: RwLock::new(HashMap::new()),
             monitor,
+            persist: RwLock::new(None),
         }
     }
 
-    /// Stores (or refreshes) a snapshot and publishes the state
-    /// change to MonALISA.
+    /// Routes every future [`Self::store`] through the WAL.
+    pub(crate) fn attach_persistence(&self, persistence: Arc<Persistence>) {
+        *self.persist.write() = Some(persistence);
+    }
+
+    /// Stores (or refreshes) a snapshot, logs it to the WAL when
+    /// persistence is attached, and publishes the state change to
+    /// MonALISA.
     pub fn store(&self, info: JobMonitoringInfo) {
+        if let Some(p) = self.persist.read().as_ref() {
+            p.append("jobmon", info.to_value());
+        }
+        self.replay(info);
+    }
+
+    /// Applies a logged store: publishes the MonALISA event and
+    /// upserts, without re-logging. This is the WAL replay path —
+    /// idempotent, since replayed upserts overwrite in place.
+    pub(crate) fn replay(&self, info: JobMonitoringInfo) {
         self.monitor.publish_job_event(JobEvent {
             at: info.completed_at.unwrap_or(info.submitted_at),
             job: info.job,
@@ -39,12 +58,32 @@ impl DbManager {
             site: info.site,
             status: info.status,
         });
+        self.restore(info);
+    }
+
+    /// Upserts without publishing or logging — the snapshot-restore
+    /// path, where the matching events are restored wholesale.
+    pub(crate) fn restore(&self, info: JobMonitoringInfo) {
         let mut by_job = self.by_job.write();
         let tasks = by_job.entry(info.job).or_default();
         if !tasks.contains(&info.task) {
             tasks.push(info.task);
         }
         self.snapshots.write().insert(info.task, info);
+    }
+
+    /// Every stored snapshot: jobs id-sorted, tasks in insertion
+    /// order within each job. Deterministic, so it doubles as the
+    /// snapshot export and the crash-test digest.
+    pub fn export(&self) -> Vec<JobMonitoringInfo> {
+        let by_job = self.by_job.read();
+        let snapshots = self.snapshots.read();
+        let mut jobs: Vec<&JobId> = by_job.keys().collect();
+        jobs.sort();
+        jobs.into_iter()
+            .flat_map(|j| by_job[j].iter())
+            .filter_map(|t| snapshots.get(t).cloned())
+            .collect()
     }
 
     /// The stored snapshot for a task, if any.

@@ -90,6 +90,29 @@ impl JobMonitoringService {
     pub fn manager(&self) -> &JmManager {
         &self.manager
     }
+
+    // ---- durability hooks ----
+
+    /// Routes every future DBManager store through the WAL.
+    pub(crate) fn attach_persistence(&self, persistence: Arc<crate::persist::Persistence>) {
+        self.manager.db().attach_persistence(persistence);
+    }
+
+    /// Deterministic export of the whole repository: jobs id-sorted,
+    /// tasks in insertion order (snapshot encoding + crash digests).
+    pub fn db_snapshot(&self) -> Vec<JobMonitoringInfo> {
+        self.manager.db().export()
+    }
+
+    /// Upserts a snapshot without publishing or logging (restore).
+    pub(crate) fn restore_info(&self, info: JobMonitoringInfo) {
+        self.manager.db().restore(info);
+    }
+
+    /// Re-applies a logged store: publish + upsert, no re-log (replay).
+    pub(crate) fn replay_info(&self, info: JobMonitoringInfo) {
+        self.manager.db().replay(info);
+    }
 }
 
 /// The JMExecutable: "serves to forward requests by the Steering

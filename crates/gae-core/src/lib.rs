@@ -57,6 +57,7 @@ pub mod estimator;
 pub mod grid;
 pub mod jobmon;
 pub mod monalisa;
+pub mod persist;
 pub mod provider;
 pub mod quota;
 pub mod replica;

@@ -94,6 +94,31 @@ impl QuotaService {
         self.ledger.read().clone()
     }
 
+    /// Re-applies a ledger entry verbatim — the WAL replay path.
+    /// Unlike [`Self::charge`] this does not re-quote: the logged
+    /// amount is deducted bit-for-bit, so recovery never depends on
+    /// rate registration order or floating-point re-derivation.
+    pub fn apply_charge(&self, record: ChargeRecord) {
+        *self.balances.write().entry(record.user).or_insert(0.0) -= record.amount;
+        self.ledger.write().push(record);
+    }
+
+    /// All balances, user-sorted (deterministic snapshot export).
+    pub fn balances_snapshot(&self) -> Vec<(UserId, f64)> {
+        let mut out: Vec<(UserId, f64)> =
+            self.balances.read().iter().map(|(u, b)| (*u, *b)).collect();
+        out.sort_by_key(|(u, _)| *u);
+        out
+    }
+
+    /// Replaces balances and ledger, as when restoring a snapshot.
+    /// Registered rates are untouched — they derive from the grid
+    /// topology, not from accounting history.
+    pub fn restore(&self, balances: Vec<(UserId, f64)>, ledger: Vec<ChargeRecord>) {
+        *self.balances.write() = balances.into_iter().collect();
+        *self.ledger.write() = ledger;
+    }
+
     /// Total charged to one user.
     pub fn total_charged(&self, user: UserId) -> f64 {
         self.ledger

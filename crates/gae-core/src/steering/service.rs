@@ -4,9 +4,10 @@
 use crate::estimator::EstimatorService;
 use crate::grid::Grid;
 use crate::jobmon::JobMonitoringService;
-use crate::quota::QuotaService;
+use crate::persist::{self, Persistence};
+use crate::quota::{ChargeRecord, QuotaService};
 use crate::steering::session::JobAuthorizer;
-use crate::steering::state::{TaskPhase, TrackedJob};
+use crate::steering::state::{TaskPhase, TrackedJob, TrackedTask};
 use crate::steering::SteeringPolicy;
 use gae_exec::Checkpoint;
 use gae_sched::Scheduler;
@@ -159,6 +160,7 @@ pub struct SteeringService {
     notifications: Mutex<Vec<Notification>>,
     moves: Mutex<Vec<MoveRecord>>,
     execution_states: Mutex<HashMap<TaskId, ExecutionState>>,
+    persist: RwLock<Option<Arc<Persistence>>>,
 }
 
 impl SteeringService {
@@ -184,7 +186,156 @@ impl SteeringService {
             notifications: Mutex::new(Vec::new()),
             moves: Mutex::new(Vec::new()),
             execution_states: Mutex::new(HashMap::new()),
+            persist: RwLock::new(None),
         }
+    }
+
+    // ---- durability (Backup & Recovery's persistent half) ----
+
+    /// Routes every future state transition through the WAL.
+    pub(crate) fn attach_persistence(&self, persistence: Arc<Persistence>) {
+        *self.persist.write() = Some(persistence);
+    }
+
+    /// Logs the current plan of a job. Call *after* the mutation, with
+    /// no job lock held.
+    fn log_plan(&self, job_id: JobId) {
+        let Some(p) = self.persist.read().clone() else {
+            return;
+        };
+        let jobs = self.jobs.read();
+        if let Some(tracked) = jobs.get(&job_id) {
+            p.append("plan", persist::plan_to_record(&tracked.plan));
+        }
+    }
+
+    /// Logs the current tracked state of one task. Call *after* the
+    /// mutation, with no job lock held.
+    fn log_task(&self, job_id: JobId, task: TaskId) {
+        let Some(p) = self.persist.read().clone() else {
+            return;
+        };
+        let jobs = self.jobs.read();
+        if let Some(t) = jobs.get(&job_id).and_then(|j| j.tasks.get(&task)) {
+            p.append("task", persist::task_to_record(job_id, t));
+        }
+    }
+
+    fn log_notified(&self, job_id: JobId) {
+        if let Some(p) = self.persist.read().clone() {
+            p.append(
+                "notified",
+                gae_wire::Value::struct_of([("job", gae_wire::Value::from(job_id.raw()))]),
+            );
+        }
+    }
+
+    fn log_charge(&self, record: &ChargeRecord) {
+        if let Some(p) = self.persist.read().clone() {
+            p.append("charge", persist::charge_to_record(record));
+        }
+    }
+
+    /// Replaces (or installs) a job's plan from the WAL, *without*
+    /// submitting anything — submissions are re-armed explicitly after
+    /// replay finishes.
+    pub(crate) fn replay_plan(&self, plan: ConcretePlan) -> GaeResult<()> {
+        let job_id = plan.job_id();
+        let mut jobs = self.jobs.write();
+        match jobs.get_mut(&job_id) {
+            Some(tracked) => {
+                tracked.plan = plan;
+            }
+            None => {
+                let tracked = TrackedJob::subscribe(plan)?;
+                let mut index = self.task_index.write();
+                for t in tracked.plan.job.task_ids() {
+                    index.insert(t, job_id);
+                }
+                jobs.insert(job_id, tracked);
+            }
+        }
+        Ok(())
+    }
+
+    /// Overwrites one task's tracked state from the WAL.
+    pub(crate) fn replay_task(&self, job_id: JobId, task: TrackedTask) {
+        self.task_index.write().insert(task.task, job_id);
+        if let Some(tracked) = self.jobs.write().get_mut(&job_id) {
+            tracked.tasks.insert(task.task, task);
+        }
+    }
+
+    /// Marks a job's completion notification as already delivered.
+    pub(crate) fn replay_notified(&self, job_id: JobId) {
+        if let Some(tracked) = self.jobs.write().get_mut(&job_id) {
+            tracked.completion_notified = true;
+        }
+    }
+
+    /// Installs a whole tracked job from a snapshot.
+    pub(crate) fn restore_job(&self, tracked: TrackedJob) {
+        let job_id = tracked.plan.job_id();
+        {
+            let mut index = self.task_index.write();
+            for t in tracked.plan.job.task_ids() {
+                index.insert(t, job_id);
+            }
+        }
+        self.jobs.write().insert(job_id, tracked);
+    }
+
+    /// Deterministic export of the tracker: jobs id-sorted (snapshot
+    /// encoding + crash digests).
+    pub fn export_jobs(&self) -> Vec<TrackedJob> {
+        let jobs = self.jobs.read();
+        let mut ids: Vec<&JobId> = jobs.keys().collect();
+        ids.sort();
+        ids.into_iter().map(|id| jobs[id].clone()).collect()
+    }
+
+    /// Exactly-once re-arm after recovery: every task the log says was
+    /// in flight at the crash is resubmitted to its planned site (the
+    /// old Condor id died with the process), then ready successors are
+    /// submitted. Returns the resubmitted tasks, deterministic order.
+    pub(crate) fn rearm_submitted(&self) -> GaeResult<Vec<TaskId>> {
+        let mut inflight: Vec<(JobId, TaskId, SiteId, TaskSpec)> = Vec::new();
+        {
+            let jobs = self.jobs.read();
+            let mut ids: Vec<&JobId> = jobs.keys().collect();
+            ids.sort();
+            for job_id in ids {
+                let tracked = &jobs[job_id];
+                let mut tasks: Vec<&TaskId> = tracked.tasks.keys().collect();
+                tasks.sort();
+                for t in tasks {
+                    if let TaskPhase::Submitted { site, .. } = tracked.tasks[t].phase {
+                        let spec = tracked
+                            .plan
+                            .job
+                            .task(*t)
+                            .ok_or_else(|| GaeError::NotFound(t.to_string()))?
+                            .clone();
+                        inflight.push((*job_id, *t, site, spec));
+                    }
+                }
+            }
+        }
+        let mut resubmitted = Vec::with_capacity(inflight.len());
+        for (job_id, task, site, spec) in inflight {
+            // The checkpoint died with the process in this model;
+            // restart from zero at the planned site.
+            self.submit_task_to(job_id, task, site, spec, None)?;
+            resubmitted.push(task);
+        }
+        // Jobs with no in-flight tasks may still have ready work
+        // (e.g. crash landed between completion and resubmission).
+        let mut job_ids: Vec<JobId> = self.jobs.read().keys().copied().collect();
+        job_ids.sort();
+        for job_id in job_ids {
+            self.submit_ready(job_id)?;
+        }
+        Ok(resubmitted)
     }
 
     /// The Session Manager.
@@ -216,6 +367,7 @@ impl SteeringService {
             }
         }
         self.jobs.write().insert(job_id, tracked);
+        self.log_plan(job_id);
         self.submit_ready(job_id)
     }
 
@@ -270,6 +422,7 @@ impl SteeringService {
                 t.phase = TaskPhase::Submitted { site, condor };
             }
         }
+        self.log_task(job_id, task);
         Ok(())
     }
 
@@ -293,6 +446,7 @@ impl SteeringService {
                 if let Some(tracked) = self.jobs.write().get_mut(&job_id) {
                     tracked.tasks.get_mut(&task).expect("indexed task").phase = TaskPhase::Killed;
                 }
+                self.log_task(job_id, task);
                 Ok(())
             }
             SteeringCommand::Pause => {
@@ -416,6 +570,8 @@ impl SteeringService {
                 tracked.tasks.get_mut(&task).expect("indexed").moves += 1;
             }
         }
+        self.log_task(job_id, task);
+        self.log_plan(job_id);
         self.moves.lock().push(MoveRecord {
             task,
             from,
@@ -479,6 +635,7 @@ impl SteeringService {
                     if let Some(tracked) = self.jobs.write().get_mut(&job_id) {
                         tracked.tasks.get_mut(&task).expect("indexed").phase = TaskPhase::Killed;
                     }
+                    self.log_task(job_id, task);
                 }
                 TaskStatus::Running => self.maybe_optimize(job_id, task, site, &info),
                 _ => {}
@@ -505,8 +662,17 @@ impl SteeringService {
             }
             t.phase = TaskPhase::Done { site };
         }
-        // Accounting: charge the owner for the CPU actually used.
-        let _ = self.quota.charge(info.owner, site, info.cpu_time);
+        self.log_task(job_id, task);
+        // Accounting: charge the owner for the CPU actually used. The
+        // charged amount is logged verbatim so replay never re-quotes.
+        if let Ok(amount) = self.quota.charge(info.owner, site, info.cpu_time) {
+            self.log_charge(&ChargeRecord {
+                user: info.owner,
+                site,
+                cpu_time: info.cpu_time,
+                amount,
+            });
+        }
         self.collect_execution_state(task, site, info);
         // Completion may unblock successors.
         let _ = self.submit_ready(job_id);
@@ -593,6 +759,8 @@ impl SteeringService {
                 tracked.plan = replanned;
             }
         }
+        self.log_task(job_id, task);
+        self.log_plan(job_id);
         self.moves.lock().push(MoveRecord {
             task,
             from,
@@ -629,6 +797,7 @@ impl SteeringService {
                 tracked.plan.clone(),
             )
         };
+        self.log_task(job_id, task);
         if attempts_exceeded {
             self.fail_task(job_id, task, "recovery attempts exhausted");
             return;
@@ -647,6 +816,7 @@ impl SteeringService {
                         tracked.plan = new_plan;
                     }
                 }
+                self.log_plan(job_id);
                 // Failure lost the in-memory state; restart from zero
                 // (a checkpointable task's checkpoint died with the
                 // site in this model).
@@ -686,6 +856,7 @@ impl SteeringService {
                 tracked.tasks.get_mut(&task).expect("indexed").phase = TaskPhase::Failed;
             }
         }
+        self.log_task(job_id, task);
         self.notifications.lock().push(Notification::JobFailed {
             job: job_id,
             at,
@@ -744,23 +915,27 @@ impl SteeringService {
     }
 
     fn maybe_notify_settled(&self, job_id: JobId) {
-        let mut jobs = self.jobs.write();
-        let Some(tracked) = jobs.get_mut(&job_id) else {
-            return;
+        let (completed, failed) = {
+            let mut jobs = self.jobs.write();
+            let Some(tracked) = jobs.get_mut(&job_id) else {
+                return;
+            };
+            if tracked.completion_notified || !tracked.is_settled() {
+                return;
+            }
+            tracked.completion_notified = true;
+            (tracked.is_completed(), tracked.is_failed())
         };
-        if tracked.completion_notified || !tracked.is_settled() {
-            return;
-        }
-        tracked.completion_notified = true;
+        self.log_notified(job_id);
         let at = self.grid.now();
-        if tracked.is_completed() {
+        if completed {
             // "For completed jobs, the Backup and Recovery module
             // notifies the client about the completion of the job and
             // gets the execution state from the execution service."
             self.notifications
                 .lock()
                 .push(Notification::JobCompleted { job: job_id, at });
-        } else if tracked.is_failed() {
+        } else if failed {
             self.notifications.lock().push(Notification::JobFailed {
                 job: job_id,
                 at,

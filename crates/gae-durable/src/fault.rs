@@ -1,0 +1,177 @@
+//! Crash/corruption injection for recovery testing.
+//!
+//! Simulates the writer dying mid-write (torn tails), media
+//! corruption (bit flips), and botched retries (duplicated segments).
+//! The byte-level operations are exposed separately from the file
+//! operations so the same corruption corpus can be fed to other
+//! parsers (e.g. the `gae-wire` fault-path tests).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One corruption to apply to a byte string or file.
+#[derive(Clone, Debug)]
+pub enum Corruption {
+    /// Drop the last `bytes` bytes — a torn tail / mid-write crash.
+    TruncateTail {
+        /// Number of bytes to drop (clamped to the data length).
+        bytes: u64,
+    },
+    /// XOR one bit — checksum-detectable media corruption.
+    FlipBit {
+        /// Byte offset (clamped into range; no-op on empty data).
+        offset: u64,
+        /// Bit index 0..8 (taken modulo 8).
+        bit: u8,
+    },
+    /// Re-append the last `bytes` bytes — a duplicated segment.
+    DuplicateTail {
+        /// Length of the duplicated suffix (clamped to the length).
+        bytes: u64,
+    },
+}
+
+/// Applies `corruption` to `data` in place. Offsets and lengths are
+/// clamped so any corruption is applicable to any data; returns false
+/// when the operation was a no-op (e.g. empty input).
+pub fn corrupt_bytes(data: &mut Vec<u8>, corruption: &Corruption) -> bool {
+    match corruption {
+        Corruption::TruncateTail { bytes } => {
+            let cut = (*bytes as usize).min(data.len());
+            if cut == 0 {
+                return false;
+            }
+            data.truncate(data.len() - cut);
+            true
+        }
+        Corruption::FlipBit { offset, bit } => {
+            if data.is_empty() {
+                return false;
+            }
+            let at = (*offset as usize).min(data.len() - 1);
+            data[at] ^= 1 << (bit % 8);
+            true
+        }
+        Corruption::DuplicateTail { bytes } => {
+            let take = (*bytes as usize).min(data.len());
+            if take == 0 {
+                return false;
+            }
+            let tail = data[data.len() - take..].to_vec();
+            data.extend_from_slice(&tail);
+            true
+        }
+    }
+}
+
+/// Applies `corruption` to the file at `path`. Returns false when the
+/// corruption was a no-op on that file's contents.
+pub fn inject(path: &Path, corruption: &Corruption) -> io::Result<bool> {
+    let mut data = fs::read(path)?;
+    let changed = corrupt_bytes(&mut data, corruption);
+    if changed {
+        fs::write(path, &data)?;
+    }
+    Ok(changed)
+}
+
+fn listed(dir: &Path, prefix: &str) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(name) = entry.file_name().to_str() {
+            if name.starts_with(prefix) && !name.ends_with(".tmp") {
+                out.push(entry.path());
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// WAL segment files in `dir`, name-sorted.
+pub fn wal_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    listed(dir, "wal.")
+}
+
+/// Snapshot files in `dir`, name-sorted.
+pub fn snapshot_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    listed(dir, "snapshot.")
+}
+
+/// All store files in `dir` (snapshots then WALs), name-sorted — the
+/// target list for randomized corruption.
+pub fn store_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = snapshot_files(dir)?;
+    out.extend(wal_files(dir)?);
+    Ok(out)
+}
+
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Creates and returns a unique scratch directory under the system
+/// temp dir. Deterministic-friendly: uniqueness comes from the pid
+/// plus a process-wide counter, not the clock.
+pub fn unique_temp_dir(tag: &str) -> PathBuf {
+    let n = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("gae-durable-{tag}-{}-{n}", std::process::id()));
+    fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corruptions_are_clamped_and_reported() {
+        let mut empty = Vec::new();
+        assert!(!corrupt_bytes(
+            &mut empty,
+            &Corruption::FlipBit { offset: 5, bit: 1 }
+        ));
+        assert!(!corrupt_bytes(
+            &mut empty,
+            &Corruption::TruncateTail { bytes: 9 }
+        ));
+
+        let mut data = b"abcdef".to_vec();
+        assert!(corrupt_bytes(
+            &mut data,
+            &Corruption::TruncateTail { bytes: 100 }
+        ));
+        assert!(data.is_empty());
+
+        let mut data = b"abcdef".to_vec();
+        assert!(corrupt_bytes(
+            &mut data,
+            &Corruption::FlipBit {
+                offset: 100,
+                bit: 0
+            }
+        ));
+        assert_eq!(data, b"abcdeg");
+
+        let mut data = b"abcdef".to_vec();
+        assert!(corrupt_bytes(
+            &mut data,
+            &Corruption::DuplicateTail { bytes: 2 }
+        ));
+        assert_eq!(data, b"abcdefef");
+    }
+
+    #[test]
+    fn inject_rewrites_files() {
+        let dir = unique_temp_dir("inject");
+        let path = dir.join("wal.000000");
+        fs::write(&path, b"0123456789").unwrap();
+        assert!(inject(&path, &Corruption::TruncateTail { bytes: 4 }).unwrap());
+        assert_eq!(fs::read(&path).unwrap(), b"012345");
+        assert_eq!(wal_files(&dir).unwrap(), vec![path.clone()]);
+        assert!(snapshot_files(&dir).unwrap().is_empty());
+        assert_eq!(store_files(&dir).unwrap(), vec![path]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,186 @@
+//! Compacting snapshot files.
+//!
+//! A snapshot captures the full service state at one commit point so
+//! earlier WAL segments can be pruned. Format:
+//!
+//! ```text
+//! [magic: 8 bytes "GAESNAP1"]
+//! [commit_index: u64 LE]  — commit point the payload reflects
+//! [record_seq: u64 LE]    — data-record sequence counter at that point
+//! [len: u64 LE]           — payload length
+//! [crc: u32 LE]           — CRC-32 of commit_index‖record_seq‖len‖payload
+//! [payload]
+//! ```
+//!
+//! The checksum covers the header fields too: a bit flip in the
+//! commit-index field must invalidate the snapshot (forcing fallback
+//! to the previous generation), not silently shift the recovered
+//! commit point.
+//!
+//! Snapshots are written to a temp file in the same directory, fsynced,
+//! then atomically renamed into place, so a crash mid-write leaves the
+//! previous generation intact. Trailing junk after the payload is
+//! ignored (a duplicated tail cannot invalidate a snapshot).
+
+use crate::crc32::Crc32;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Snapshot file magic.
+pub const MAGIC: &[u8; 8] = b"GAESNAP1";
+const HEADER_BYTES: usize = 8 + 8 + 8 + 8 + 4;
+
+/// A decoded snapshot header + payload.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Commit point the payload reflects.
+    pub commit_index: u64,
+    /// Data-record sequence counter at that point.
+    pub record_seq: u64,
+    /// Opaque service-state payload (empty = empty state).
+    pub payload: Vec<u8>,
+}
+
+/// Writes a snapshot atomically (temp file + rename + dir sync).
+pub fn write_snapshot(
+    path: &Path,
+    commit_index: u64,
+    record_seq: u64,
+    payload: &[u8],
+    fsync: bool,
+) -> io::Result<()> {
+    let dir = path.parent().unwrap_or(Path::new("."));
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)?;
+        let mut header = Vec::with_capacity(HEADER_BYTES);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&commit_index.to_le_bytes());
+        header.extend_from_slice(&record_seq.to_le_bytes());
+        header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        let mut crc = Crc32::new();
+        crc.update(&header[8..]);
+        crc.update(payload);
+        header.extend_from_slice(&crc.finish().to_le_bytes());
+        f.write_all(&header)?;
+        f.write_all(payload)?;
+        if fsync {
+            f.sync_all()?;
+        }
+    }
+    fs::rename(&tmp, path)?;
+    if fsync {
+        // Persist the rename itself.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads and validates a snapshot. Returns `Ok(None)` when the file is
+/// missing, truncated, or fails its checksum — the caller falls back to
+/// the previous generation. Only unexpected I/O errors propagate.
+pub fn read_snapshot(path: &Path) -> io::Result<Option<Snapshot>> {
+    let mut f = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut data = Vec::new();
+    f.read_to_end(&mut data)?;
+    Ok(decode(&data))
+}
+
+fn decode(data: &[u8]) -> Option<Snapshot> {
+    if data.len() < HEADER_BYTES || &data[..8] != MAGIC {
+        return None;
+    }
+    let commit_index = u64::from_le_bytes(data[8..16].try_into().unwrap());
+    let record_seq = u64::from_le_bytes(data[16..24].try_into().unwrap());
+    let len = u64::from_le_bytes(data[24..32].try_into().unwrap());
+    let crc = u32::from_le_bytes(data[32..36].try_into().unwrap());
+    let end = HEADER_BYTES.checked_add(usize::try_from(len).ok()?)?;
+    // Trailing bytes beyond `end` are tolerated (duplicated tails).
+    let payload = data.get(HEADER_BYTES..end)?;
+    let mut check = Crc32::new();
+    check.update(&data[8..32]);
+    check.update(payload);
+    if check.finish() != crc {
+        return None;
+    }
+    Some(Snapshot {
+        commit_index,
+        record_seq,
+        payload: payload.to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::unique_temp_dir;
+
+    #[test]
+    fn roundtrip() {
+        let dir = unique_temp_dir("snap-roundtrip");
+        let path = dir.join("snapshot.000001");
+        write_snapshot(&path, 7, 42, b"state-bytes", true).unwrap();
+        let snap = read_snapshot(&path).unwrap().expect("valid snapshot");
+        assert_eq!(snap.commit_index, 7);
+        assert_eq!(snap.record_seq, 42);
+        assert_eq!(snap.payload, b"state-bytes");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_payload_is_valid() {
+        let dir = unique_temp_dir("snap-empty");
+        let path = dir.join("snapshot.000000");
+        write_snapshot(&path, 0, 0, b"", false).unwrap();
+        let snap = read_snapshot(&path).unwrap().expect("valid snapshot");
+        assert_eq!(snap.commit_index, 0);
+        assert!(snap.payload.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_is_rejected_not_propagated() {
+        let dir = unique_temp_dir("snap-corrupt");
+        let path = dir.join("snapshot.000002");
+        write_snapshot(&path, 3, 9, b"payload-under-test", false).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        for i in 0..bytes.len() {
+            bytes[i] ^= 0x10;
+            fs::write(&path, &bytes).unwrap();
+            // The checksum covers header and payload alike: any flip
+            // invalidates the whole snapshot.
+            assert!(read_snapshot(&path).unwrap().is_none(), "flip at {i}");
+            bytes[i] ^= 0x10;
+        }
+        // Truncation at every length.
+        fs::write(&path, &bytes).unwrap();
+        for cut in 0..bytes.len() {
+            fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(read_snapshot(&path).unwrap().is_none(), "cut at {cut}");
+        }
+        // Trailing junk is fine.
+        let mut dup = bytes.clone();
+        dup.extend_from_slice(&bytes[bytes.len() - 8..]);
+        fs::write(&path, &dup).unwrap();
+        assert!(read_snapshot(&path).unwrap().is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_none() {
+        assert!(read_snapshot(Path::new("/nonexistent/gae-snap"))
+            .unwrap()
+            .is_none());
+    }
+}

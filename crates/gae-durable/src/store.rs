@@ -1,0 +1,533 @@
+//! The durable store: one live WAL segment plus a base snapshot,
+//! organised in *generations*.
+//!
+//! Generation `g` on disk is the pair `snapshot.g` + `wal.g`: the
+//! snapshot captures all state up to its commit index, and the WAL
+//! holds every record appended since. Rotation (compaction) writes
+//! `snapshot.(g+1)` reflecting the current commit point, starts an
+//! empty `wal.(g+1)`, and prunes generations `<= g-1`, so at most two
+//! generations exist at once. Keeping the previous generation makes
+//! the store single-fault tolerant: if `snapshot.g` is corrupted,
+//! recovery replays `snapshot.(g-1)` + all of `wal.(g-1)` + the valid
+//! prefix of `wal.g`.
+//!
+//! Appends are buffered in memory (group commit); [`DurableStore::commit`]
+//! writes all buffered frames plus a commit marker in a single
+//! `write_all` and optionally fsyncs. Recovery replays data records up
+//! to the last valid marker and deduplicates by the store-wide record
+//! sequence number, so duplicated segments cannot double-apply.
+
+use crate::snapshot::{read_snapshot, write_snapshot};
+use crate::wal::{encode_commit_frame, encode_data_frame, scan_segment, SegmentScan, TailState};
+use gae_types::{GaeError, GaeResult};
+use std::collections::BTreeSet;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Path of `snapshot.<generation>` in `dir`.
+pub fn snapshot_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("snapshot.{generation:06}"))
+}
+
+/// Path of `wal.<generation>` in `dir`.
+pub fn wal_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("wal.{generation:06}"))
+}
+
+fn io_err(context: &str, e: std::io::Error) -> GaeError {
+    GaeError::Io(format!("{context}: {e}"))
+}
+
+/// Cumulative I/O statistics, for the benches.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StoreStats {
+    /// Data records appended since the store was opened.
+    pub records_appended: u64,
+    /// Commits performed (markers written).
+    pub commits: u64,
+    /// Bytes written to WAL segments.
+    pub wal_bytes: u64,
+}
+
+/// Everything recovery could read from a persistence directory.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Base snapshot payload (empty = empty state).
+    pub snapshot: Vec<u8>,
+    /// Committed data records after the snapshot, deduplicated and in
+    /// append order.
+    pub records: Vec<Vec<u8>>,
+    /// The commit point the combined state corresponds to.
+    pub commit_index: u64,
+    /// Highest data-record sequence number applied.
+    pub record_seq: u64,
+    /// Generation whose snapshot anchored the recovery.
+    pub generation: u64,
+    /// Tail state of the newest WAL segment (reported, not fatal).
+    pub tail: TailState,
+    /// True when the newest snapshot was unusable and recovery fell
+    /// back to the previous generation.
+    pub used_fallback: bool,
+}
+
+/// An open, writable durable store (the "writer" side).
+#[derive(Debug)]
+pub struct DurableStore {
+    dir: PathBuf,
+    generation: u64,
+    commit_index: u64,
+    record_seq: u64,
+    pending: Vec<Vec<u8>>,
+    file: File,
+    fsync: bool,
+    stats: StoreStats,
+}
+
+impl DurableStore {
+    /// Creates a fresh store in `dir` (created if missing). Fails if
+    /// the directory already holds a store — recover it instead of
+    /// silently overwriting history.
+    pub fn create(dir: &Path, fsync: bool) -> GaeResult<Self> {
+        fs::create_dir_all(dir).map_err(|e| io_err("create persistence dir", e))?;
+        if !list_generations(dir)?.is_empty() {
+            return Err(GaeError::Io(format!(
+                "persistence dir {} already holds a store; recover it instead of creating anew",
+                dir.display()
+            )));
+        }
+        Self::start_generation(dir, 0, 0, 0, &[], fsync)
+    }
+
+    /// Opens generation `recovered.generation + 1` seeded with a fresh
+    /// snapshot of the recovered state. Called once after replay.
+    pub fn resume(
+        dir: &Path,
+        recovered: &Recovered,
+        snapshot: &[u8],
+        fsync: bool,
+    ) -> GaeResult<Self> {
+        Self::start_generation(
+            dir,
+            recovered.generation + 1,
+            recovered.commit_index,
+            recovered.record_seq,
+            snapshot,
+            fsync,
+        )
+    }
+
+    fn start_generation(
+        dir: &Path,
+        generation: u64,
+        commit_index: u64,
+        record_seq: u64,
+        snapshot: &[u8],
+        fsync: bool,
+    ) -> GaeResult<Self> {
+        write_snapshot(
+            &snapshot_path(dir, generation),
+            commit_index,
+            record_seq,
+            snapshot,
+            fsync,
+        )
+        .map_err(|e| io_err("write snapshot", e))?;
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(wal_path(dir, generation))
+            .map_err(|e| io_err("open wal segment", e))?;
+        prune_before(dir, generation.saturating_sub(1))?;
+        Ok(DurableStore {
+            dir: dir.to_path_buf(),
+            generation,
+            commit_index,
+            record_seq,
+            pending: Vec::new(),
+            file,
+            fsync,
+            stats: StoreStats::default(),
+        })
+    }
+
+    /// Buffers one record for the next commit (group commit).
+    pub fn append(&mut self, record: Vec<u8>) {
+        self.pending.push(record);
+    }
+
+    /// Number of records buffered but not yet committed.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Writes all buffered records plus a commit marker in one batch,
+    /// fsyncing if configured. An empty commit still writes a marker —
+    /// checkpoints advance the commit index even when nothing changed.
+    pub fn commit(&mut self) -> GaeResult<u64> {
+        self.commit_index += 1;
+        let mut batch = Vec::new();
+        for record in self.pending.drain(..) {
+            self.record_seq += 1;
+            self.stats.records_appended += 1;
+            encode_data_frame(self.record_seq, &record, &mut batch);
+        }
+        encode_commit_frame(self.commit_index, &mut batch);
+        self.file
+            .write_all(&batch)
+            .and_then(|_| self.file.flush())
+            .map_err(|e| io_err("append wal batch", e))?;
+        if self.fsync {
+            self.file.sync_data().map_err(|e| io_err("fsync wal", e))?;
+        }
+        self.stats.commits += 1;
+        self.stats.wal_bytes += batch.len() as u64;
+        Ok(self.commit_index)
+    }
+
+    /// Rotates to a new generation anchored at `snapshot` (which must
+    /// describe the state at the current commit point). Buffered
+    /// records are committed first so the snapshot supersedes them.
+    pub fn rotate(&mut self, snapshot: &[u8]) -> GaeResult<()> {
+        if !self.pending.is_empty() {
+            self.commit()?;
+        }
+        let next = Self::start_generation(
+            &self.dir,
+            self.generation + 1,
+            self.commit_index,
+            self.record_seq,
+            snapshot,
+            self.fsync,
+        )?;
+        let stats = self.stats;
+        *self = next;
+        self.stats = stats;
+        Ok(())
+    }
+
+    /// The current commit index (count of commits since creation).
+    pub fn commit_index(&self) -> u64 {
+        self.commit_index
+    }
+
+    /// The on-disk generation currently being written.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Cumulative I/O statistics.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Read-only recovery: reconstructs the longest prefix-consistent
+    /// committed state from `dir`. Never writes; call [`Self::resume`]
+    /// afterwards to continue appending.
+    pub fn recover(dir: &Path) -> GaeResult<Recovered> {
+        let generations = list_generations(dir)?;
+        let Some(&newest) = generations.last() else {
+            return Err(GaeError::Io(format!(
+                "no durable store found in {}",
+                dir.display()
+            )));
+        };
+        let snap =
+            read_snapshot(&snapshot_path(dir, newest)).map_err(|e| io_err("read snapshot", e))?;
+        if let Some(snap) = snap {
+            let scan = scan_wal(dir, newest)?;
+            return Ok(assemble(
+                snap.payload,
+                snap.commit_index,
+                snap.record_seq,
+                vec![scan],
+                newest,
+                false,
+            ));
+        }
+        // Newest snapshot unusable. Generation 0's snapshot is always
+        // empty, so it can be substituted wholesale; otherwise fall
+        // back to the previous generation's snapshot plus both WALs.
+        if newest == 0 {
+            let scan = scan_wal(dir, 0)?;
+            return Ok(assemble(Vec::new(), 0, 0, vec![scan], 0, true));
+        }
+        let prev = read_snapshot(&snapshot_path(dir, newest - 1))
+            .map_err(|e| io_err("read fallback snapshot", e))?
+            .ok_or_else(|| {
+                GaeError::Io(format!(
+                    "snapshots {} and {} both unreadable",
+                    newest,
+                    newest - 1
+                ))
+            })?;
+        let prev_scan = scan_wal(dir, newest - 1)?;
+        let cur_scan = scan_wal(dir, newest)?;
+        Ok(assemble(
+            prev.payload,
+            prev.commit_index,
+            prev.record_seq,
+            vec![prev_scan, cur_scan],
+            newest - 1,
+            true,
+        ))
+    }
+}
+
+fn scan_wal(dir: &Path, generation: u64) -> GaeResult<SegmentScan> {
+    scan_segment(&wal_path(dir, generation)).map_err(|e| io_err("scan wal segment", e))
+}
+
+/// Merges a base snapshot with one or two WAL scans, deduplicating
+/// records by sequence number and tracking the final commit index.
+fn assemble(
+    snapshot: Vec<u8>,
+    base_commit: u64,
+    base_seq: u64,
+    scans: Vec<SegmentScan>,
+    generation: u64,
+    used_fallback: bool,
+) -> Recovered {
+    let mut records = Vec::new();
+    let mut commit_index = base_commit;
+    let mut record_seq = base_seq;
+    let mut tail = TailState::Clean;
+    for scan in scans {
+        for (seq, record) in scan.committed {
+            if seq > record_seq {
+                record_seq = seq;
+                records.push(record);
+            }
+        }
+        if let Some(index) = scan.last_commit_index {
+            commit_index = commit_index.max(index);
+        }
+        tail = scan.tail; // newest segment's tail wins
+    }
+    Recovered {
+        snapshot,
+        records,
+        commit_index,
+        record_seq,
+        generation,
+        tail,
+        used_fallback,
+    }
+}
+
+/// Sorted generations present in `dir` (union over snapshot/wal files).
+fn list_generations(dir: &Path) -> GaeResult<Vec<u64>> {
+    let mut generations = BTreeSet::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(io_err("list persistence dir", e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("list persistence dir", e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(g) = name
+            .strip_prefix("snapshot.")
+            .or_else(|| name.strip_prefix("wal."))
+        {
+            if let Ok(g) = g.parse::<u64>() {
+                generations.insert(g);
+            }
+        }
+    }
+    Ok(generations.into_iter().collect())
+}
+
+/// Removes snapshot/wal files of generations strictly below `keep_from`.
+fn prune_before(dir: &Path, keep_from: u64) -> GaeResult<()> {
+    for g in list_generations(dir)? {
+        if g < keep_from {
+            let _ = fs::remove_file(snapshot_path(dir, g));
+            let _ = fs::remove_file(wal_path(dir, g));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{self, Corruption};
+
+    fn temp() -> PathBuf {
+        fault::unique_temp_dir("store")
+    }
+
+    fn recs(n: u64) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("record-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn roundtrip_across_commits_and_rotation() {
+        let dir = temp();
+        let mut store = DurableStore::create(&dir, true).unwrap();
+        for r in recs(3) {
+            store.append(r);
+        }
+        assert_eq!(store.commit().unwrap(), 1);
+        store.append(b"late".to_vec());
+        assert_eq!(store.commit().unwrap(), 2);
+        store.rotate(b"snapshot-at-2").unwrap();
+        assert_eq!(store.generation(), 1);
+        store.append(b"post-rotate".to_vec());
+        assert_eq!(store.commit().unwrap(), 3);
+        drop(store);
+
+        let rec = DurableStore::recover(&dir).unwrap();
+        assert_eq!(rec.generation, 1);
+        assert_eq!(rec.commit_index, 3);
+        assert_eq!(rec.snapshot, b"snapshot-at-2");
+        assert_eq!(rec.records, vec![b"post-rotate".to_vec()]);
+        assert!(rec.tail.is_clean());
+        assert!(!rec.used_fallback);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_existing_store() {
+        let dir = temp();
+        let store = DurableStore::create(&dir, false).unwrap();
+        drop(store);
+        assert!(DurableStore::create(&dir, false).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_commits_advance_the_index() {
+        let dir = temp();
+        let mut store = DurableStore::create(&dir, false).unwrap();
+        store.commit().unwrap();
+        store.commit().unwrap();
+        store.commit().unwrap();
+        drop(store);
+        let rec = DurableStore::recover(&dir).unwrap();
+        assert_eq!(rec.commit_index, 3);
+        assert!(rec.records.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_recovers_to_last_commit() {
+        let dir = temp();
+        let mut store = DurableStore::create(&dir, false).unwrap();
+        store.append(b"committed".to_vec());
+        store.commit().unwrap();
+        store.append(b"lost".to_vec());
+        store.commit().unwrap();
+        drop(store);
+        // Chop a few bytes off the second batch.
+        fault::inject(&wal_path(&dir, 0), &Corruption::TruncateTail { bytes: 3 }).unwrap();
+        let rec = DurableStore::recover(&dir).unwrap();
+        assert_eq!(rec.commit_index, 1);
+        assert_eq!(rec.records, vec![b"committed".to_vec()]);
+        assert!(!rec.tail.is_clean());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_a_generation() {
+        let dir = temp();
+        let mut store = DurableStore::create(&dir, false).unwrap();
+        store.append(b"one".to_vec());
+        store.commit().unwrap();
+        store.rotate(b"snap-1").unwrap();
+        store.append(b"two".to_vec());
+        store.commit().unwrap();
+        drop(store);
+        fault::inject(
+            &snapshot_path(&dir, 1),
+            &Corruption::FlipBit { offset: 20, bit: 2 },
+        )
+        .unwrap();
+        let rec = DurableStore::recover(&dir).unwrap();
+        assert!(rec.used_fallback);
+        assert_eq!(rec.generation, 0);
+        assert_eq!(rec.commit_index, 2);
+        // Fallback replays gen-0 WAL fully, then gen-1's prefix.
+        assert_eq!(rec.records, vec![b"one".to_vec(), b"two".to_vec()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_generation_zero_snapshot_substitutes_empty_state() {
+        let dir = temp();
+        let mut store = DurableStore::create(&dir, false).unwrap();
+        store.append(b"only".to_vec());
+        store.commit().unwrap();
+        drop(store);
+        fault::inject(
+            &snapshot_path(&dir, 0),
+            &Corruption::TruncateTail { bytes: 10 },
+        )
+        .unwrap();
+        let rec = DurableStore::recover(&dir).unwrap();
+        assert!(rec.used_fallback);
+        assert_eq!(rec.commit_index, 1);
+        assert_eq!(rec.records, vec![b"only".to_vec()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicated_tail_does_not_double_apply() {
+        let dir = temp();
+        let mut store = DurableStore::create(&dir, false).unwrap();
+        store.append(b"a".to_vec());
+        store.commit().unwrap();
+        store.append(b"b".to_vec());
+        store.commit().unwrap();
+        drop(store);
+        let path = wal_path(&dir, 0);
+        let len = fs::metadata(&path).unwrap().len();
+        // Duplicate the entire segment onto its own tail: every frame
+        // re-appears with an already-seen sequence number.
+        fault::inject(&path, &Corruption::DuplicateTail { bytes: len }).unwrap();
+        let rec = DurableStore::recover(&dir).unwrap();
+        assert_eq!(rec.commit_index, 2);
+        assert_eq!(rec.records, vec![b"a".to_vec(), b"b".to_vec()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_continues_commit_sequence() {
+        let dir = temp();
+        let mut store = DurableStore::create(&dir, false).unwrap();
+        store.append(b"before-crash".to_vec());
+        store.commit().unwrap();
+        drop(store);
+        let rec = DurableStore::recover(&dir).unwrap();
+        let mut store = DurableStore::resume(&dir, &rec, b"resumed-state", false).unwrap();
+        assert_eq!(store.generation(), rec.generation + 1);
+        assert_eq!(store.commit_index(), 1);
+        store.append(b"after-crash".to_vec());
+        assert_eq!(store.commit().unwrap(), 2);
+        drop(store);
+        let rec2 = DurableStore::recover(&dir).unwrap();
+        assert_eq!(rec2.snapshot, b"resumed-state");
+        assert_eq!(rec2.records, vec![b"after-crash".to_vec()]);
+        assert_eq!(rec2.commit_index, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_prunes_to_two_generations() {
+        let dir = temp();
+        let mut store = DurableStore::create(&dir, false).unwrap();
+        for i in 0..4u64 {
+            store.append(format!("r{i}").into_bytes());
+            store.commit().unwrap();
+            store.rotate(format!("snap-{i}").as_bytes()).unwrap();
+        }
+        assert_eq!(store.generation(), 4);
+        drop(store);
+        let gens = list_generations(&dir).unwrap();
+        assert_eq!(gens, vec![3, 4]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -350,15 +350,19 @@ impl ExecutionService {
     pub fn advance_to(&mut self, t: SimTime) {
         assert!(t >= self.now, "cannot advance backwards");
         loop {
+            // Ties at the same instant break by Condor id, not by
+            // HashMap iteration order: the completion sequence feeds
+            // the event log and the estimator histories, so it must
+            // be identical from run to run.
             let next_finish = self
                 .planned_finish
                 .iter()
-                .min_by_key(|(_, time)| **time)
+                .min_by_key(|(c, time)| (**time, **c))
                 .map(|(c, time)| (*c, *time));
             let next_staged = self
                 .staging_until
                 .iter()
-                .min_by_key(|(_, time)| **time)
+                .min_by_key(|(c, time)| (**time, **c))
                 .map(|(c, time)| (*c, *time));
             let completion_first = match (next_finish, next_staged) {
                 (Some((_, tf)), Some((_, ts))) => tf <= ts,

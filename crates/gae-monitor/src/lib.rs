@@ -18,5 +18,5 @@
 pub mod repository;
 pub mod store;
 
-pub use repository::{JobEvent, MonAlisaRepository, SubscriptionId};
+pub use repository::{evictions_metric_key, JobEvent, MonAlisaRepository, SubscriptionId};
 pub use store::{MetricKey, Sample, TimeSeriesStore};

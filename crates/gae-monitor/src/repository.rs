@@ -39,6 +39,14 @@ pub struct MonAlisaRepository {
     next_subscription: std::sync::atomic::AtomicU64,
     /// Cap on the retained job-event log.
     event_capacity: usize,
+    /// Monotonic count of job events dropped by the retention cap.
+    evicted: std::sync::atomic::AtomicU64,
+}
+
+/// Metric under which event-log evictions are published (site 0 =
+/// the monitoring service itself, not a grid site).
+pub fn evictions_metric_key() -> MetricKey {
+    MetricKey::new(SiteId::new(0), "monalisa", "evictions")
 }
 
 impl MonAlisaRepository {
@@ -51,6 +59,7 @@ impl MonAlisaRepository {
             subscribers: RwLock::new(HashMap::new()),
             next_subscription: std::sync::atomic::AtomicU64::new(1),
             event_capacity: event_capacity.max(1),
+            evicted: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -119,19 +128,39 @@ impl MonAlisaRepository {
 
     // ---- job events ----
 
-    /// Publishes a job state change and notifies subscribers.
+    /// Publishes a job state change and notifies subscribers. When the
+    /// retention cap forces the oldest event out, the monotonic
+    /// eviction counter advances and a `monalisa.evictions` metric
+    /// sample is published, so replay consumers can detect the gap
+    /// instead of silently missing history.
     pub fn publish_job_event(&self, event: JobEvent) {
-        {
+        let evicted_total = {
             let mut log = self.job_events.write();
-            if log.len() == self.event_capacity {
+            let evicted = if log.len() == self.event_capacity {
                 log.remove(0);
-            }
+                Some(
+                    self.evicted
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                        + 1,
+                )
+            } else {
+                None
+            };
             log.push(event.clone());
+            evicted
+        };
+        if let Some(total) = evicted_total {
+            self.publish_metric(evictions_metric_key(), event.at, total as f64);
         }
         let subs = self.subscribers.read();
         for cb in subs.values() {
             cb(&event);
         }
+    }
+
+    /// Monotonic count of job events dropped by the retention cap.
+    pub fn evicted_count(&self) -> u64 {
+        self.evicted.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// All retained events for one job, in publication order.
@@ -157,6 +186,39 @@ impl MonAlisaRepository {
     /// Number of retained job events.
     pub fn event_count(&self) -> usize {
         self.job_events.read().len()
+    }
+
+    // ---- durability hooks ----
+
+    /// The retained job-event log, oldest first (snapshot export).
+    pub fn events_snapshot(&self) -> Vec<JobEvent> {
+        self.job_events.read().clone()
+    }
+
+    /// Replaces the retained event log and eviction counter, as when
+    /// restoring from a snapshot. Subscribers are *not* notified —
+    /// restored events were already observed before the crash.
+    pub fn restore_events(&self, events: Vec<JobEvent>, evicted: u64) {
+        let mut log = self.job_events.write();
+        *log = events;
+        let drop_n = log.len().saturating_sub(self.event_capacity);
+        if drop_n > 0 {
+            log.drain(..drop_n);
+        }
+        self.evicted
+            .store(evicted, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Every retained metric series in deterministic order, plus the
+    /// lifetime publication count (snapshot export).
+    pub fn metrics_snapshot(&self) -> (Vec<(MetricKey, Vec<Sample>)>, u64) {
+        let store = self.metrics.read();
+        (store.export(), store.total_published())
+    }
+
+    /// Replaces all metric series, as when restoring from a snapshot.
+    pub fn restore_metrics(&self, series: Vec<(MetricKey, Vec<Sample>)>, total_published: u64) {
+        self.metrics.write().restore(series, total_published);
     }
 
     // ---- subscriptions ----
@@ -245,6 +307,57 @@ mod tests {
         assert_eq!(repo.event_count(), 3);
         let h = repo.job_history(JobId::new(1));
         assert_eq!(h[0].at, SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn evictions_are_counted_and_published() {
+        let repo = MonAlisaRepository::new(8, 3);
+        assert_eq!(repo.evicted_count(), 0);
+        for i in 0..3 {
+            repo.publish_job_event(event(i, 1, 1, TaskStatus::Running));
+        }
+        // Log exactly full: nothing evicted, no metric yet.
+        assert_eq!(repo.evicted_count(), 0);
+        assert!(repo.latest(&evictions_metric_key()).is_none());
+        for i in 3..10 {
+            repo.publish_job_event(event(i, 1, 1, TaskStatus::Running));
+        }
+        // 10 published into a cap of 3 → 7 evicted, monotonically.
+        assert_eq!(repo.evicted_count(), 7);
+        let metric = repo.latest(&evictions_metric_key()).expect("metric");
+        assert_eq!(metric.value, 7.0);
+        assert_eq!(metric.at, SimTime::from_secs(9));
+        // The metric series records every eviction, not just the last.
+        let series = repo.range(
+            &evictions_metric_key(),
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+        );
+        assert_eq!(series.len(), 7);
+        assert_eq!(series[0].value, 1.0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_events_and_metrics() {
+        let repo = MonAlisaRepository::new(8, 4);
+        for i in 0..6 {
+            repo.publish_job_event(event(i, 1, i, TaskStatus::Completed));
+        }
+        repo.publish_site_load(SiteId::new(2), SimTime::from_secs(3), 1.25);
+        let events = repo.events_snapshot();
+        let evicted = repo.evicted_count();
+        let (series, total) = repo.metrics_snapshot();
+
+        let fresh = MonAlisaRepository::new(8, 4);
+        fresh.restore_events(events.clone(), evicted);
+        fresh.restore_metrics(series, total);
+        assert_eq!(fresh.events_snapshot(), events);
+        assert_eq!(fresh.evicted_count(), 2);
+        assert_eq!(fresh.site_load(SiteId::new(2)), Some(1.25));
+        let (s1, t1) = repo.metrics_snapshot();
+        let (s2, t2) = fresh.metrics_snapshot();
+        assert_eq!(s1, s2);
+        assert_eq!(t1, t2);
     }
 
     #[test]

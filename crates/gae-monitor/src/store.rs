@@ -182,6 +182,33 @@ impl TimeSeriesStore {
     pub fn total_published(&self) -> u64 {
         self.total_published
     }
+
+    /// Every retained series, sorted by `(site, entity, param)` —
+    /// deterministic order for snapshot encoding.
+    pub fn export(&self) -> Vec<(MetricKey, Vec<Sample>)> {
+        let mut out: Vec<(MetricKey, Vec<Sample>)> = self
+            .series
+            .iter()
+            .map(|(k, ring)| (k.clone(), ring.iter().copied().collect()))
+            .collect();
+        out.sort_by(|(a, _), (b, _)| {
+            (a.site, &*a.entity, &*a.param).cmp(&(b.site, &*b.entity, &*b.param))
+        });
+        out
+    }
+
+    /// Replaces all retained series with `series` (each truncated to
+    /// capacity, keeping the newest samples), as when restoring a
+    /// snapshot. `total_published` resumes from the restored count.
+    pub fn restore(&mut self, series: Vec<(MetricKey, Vec<Sample>)>, total_published: u64) {
+        self.series.clear();
+        for (key, samples) in series {
+            let skip = samples.len().saturating_sub(self.capacity);
+            self.series
+                .insert(key, samples.into_iter().skip(skip).collect());
+        }
+        self.total_published = total_published;
+    }
 }
 
 #[cfg(test)]

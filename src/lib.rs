@@ -25,6 +25,7 @@
 //! | [`monitor`] | `gae-monitor` | MonALISA substitute: metrics + job events |
 //! | [`sched`] | `gae-sched` | Sphinx substitute: site selection, replanning |
 //! | [`trace`] | `gae-trace` | Paragon records, Downey workload, similarity |
+//! | [`durable`] | `gae-durable` | checksummed WAL + snapshots, crash recovery |
 //! | [`core`] | `gae-core` | **the paper's services**: steering, jobmon, estimators |
 //!
 //! ## Five-minute tour
@@ -55,6 +56,7 @@
 //! ```
 
 pub use gae_core as core;
+pub use gae_durable as durable;
 pub use gae_exec as exec;
 pub use gae_monitor as monitor;
 pub use gae_rpc as rpc;
@@ -69,6 +71,7 @@ pub mod prelude {
     pub use gae_core::estimator::{EstimationMethod, RuntimeEstimator};
     pub use gae_core::grid::{DriverMode, Grid, GridBuilder, ServiceStack};
     pub use gae_core::jobmon::{JobMonitoringInfo, JobMonitoringService};
+    pub use gae_core::persist::{PersistenceConfig, RecoveryReport};
     pub use gae_core::steering::{Notification, SteeringCommand, SteeringPolicy, SteeringService};
     pub use gae_core::{EstimatorService, QuotaService};
     pub use gae_types::prelude::*;

@@ -1,0 +1,399 @@
+//! Crash-injection recovery, property-tested (DESIGN.md §8).
+//!
+//! Each case runs the same randomly generated workload twice: a
+//! reference stack that records a digest of all persisted state at
+//! every commit point, and a persisted stack that writes a WAL and
+//! snapshots while running. The persisted stack is then "killed"
+//! (dropped mid-history), its on-disk store is corrupted at a random
+//! point — torn tail, flipped bit, or duplicated tail — and a fresh
+//! stack is rebuilt with `recover_from_disk`. Recovery must always
+//! succeed, and the rebuilt state must be *prefix-consistent*: exactly
+//! equal to the reference digest at the reported commit index, under
+//! both the sequential and the sharded driver.
+
+use gae::durable::fault::{inject, store_files, unique_temp_dir};
+use gae::durable::Corruption;
+use gae::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Per job: task demands in seconds and raw dependency index pairs.
+type JobShape = (Vec<u64>, Vec<(usize, usize)>);
+
+/// One generated grid + workload + crash point, in plain data form so
+/// the same scenario can be materialised several times.
+#[derive(Clone, Debug)]
+struct Scenario {
+    /// Per site: (nodes, slots per node, external load in quarters).
+    sites: Vec<(u32, u32, u64)>,
+    /// Flocking edges as site-index pairs (self-edges skipped).
+    flock_edges: Vec<(usize, usize)>,
+    /// Per job: task demands and dependency edges (applied low → high).
+    jobs: Vec<JobShape>,
+    /// run_until steps to drive before the crash (= commit points).
+    steps: usize,
+    /// Seconds of virtual time per step.
+    step_secs: u64,
+    /// Snapshot cadence in steps (1 = rotate at every checkpoint).
+    snapshot_steps: u64,
+    /// Whether the persisted run and the recovered run use the
+    /// sharded driver (the reference is always sequential).
+    sharded: bool,
+    /// Which store file the corruption lands in (modulo file count).
+    victim: u64,
+    /// Corruption kind selector (0 truncate, 1 bit flip, 2 duplicate).
+    kind: u8,
+    /// Byte length / offset raw material (modulo file length).
+    extent: u64,
+    /// Bit to flip within the victim byte.
+    bit: u8,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    let site = (1u32..4, 1u32..3, 0u64..4);
+    let edge = (any::<prop::sample::Index>(), any::<prop::sample::Index>());
+    let job = (
+        prop::collection::vec(0u64..60, 1..6),
+        prop::collection::vec(edge, 0..4),
+    );
+    (
+        (
+            prop::collection::vec(site, 1..9),
+            prop::collection::vec(edge, 0..4),
+            prop::collection::vec(job, 1..4),
+            1usize..6,
+            5u64..40,
+            1u64..4,
+        ),
+        (
+            any::<bool>(),
+            0u64..1_000_000,
+            0u8..3,
+            0u64..1_000_000,
+            0u8..8,
+        ),
+    )
+        .prop_map(
+            |(
+                (sites, raw_flocks, raw_jobs, steps, step_secs, snapshot_steps),
+                (sharded, victim, kind, extent, bit),
+            )| {
+                let n = sites.len();
+                let flock_edges = raw_flocks
+                    .into_iter()
+                    .map(|(a, b)| (a.index(n), b.index(n)))
+                    .collect();
+                let jobs = raw_jobs
+                    .into_iter()
+                    .map(|(demands, raw_deps)| {
+                        let t = demands.len();
+                        let deps = raw_deps
+                            .into_iter()
+                            .map(|(a, b)| (a.index(t), b.index(t)))
+                            .collect();
+                        (demands, deps)
+                    })
+                    .collect();
+                Scenario {
+                    sites,
+                    flock_edges,
+                    jobs,
+                    steps,
+                    step_secs,
+                    snapshot_steps,
+                    sharded,
+                    victim,
+                    kind,
+                    extent,
+                    bit,
+                }
+            },
+        )
+}
+
+fn build_grid(
+    scenario: &Scenario,
+    driver: DriverMode,
+    persist: Option<&PersistenceConfig>,
+) -> Arc<Grid> {
+    let mut builder = GridBuilder::new().driver(driver);
+    for (i, (nodes, slots, load_quarters)) in scenario.sites.iter().enumerate() {
+        let desc = SiteDescription::new(SiteId::new(i as u64 + 1), format!("s{i}"), *nodes, *slots);
+        builder = if *load_quarters == 0 {
+            builder.site(desc)
+        } else {
+            builder.site_with_load(desc, *load_quarters as f64 * 0.25)
+        };
+    }
+    if let Some(config) = persist {
+        builder = builder.persist(config.clone());
+    }
+    let grid = builder.build();
+    for (a, b) in &scenario.flock_edges {
+        if a != b {
+            grid.enable_flocking(SiteId::new(*a as u64 + 1), SiteId::new(*b as u64 + 1));
+        }
+    }
+    grid
+}
+
+fn submit_workload(scenario: &Scenario, stack: &ServiceStack) {
+    for (j, (demands, deps)) in scenario.jobs.iter().enumerate() {
+        let job_no = j as u64 + 1;
+        let mut job = JobSpec::new(JobId::new(job_no), format!("job{job_no}"), UserId::new(1));
+        let mut ids = Vec::new();
+        for (k, demand) in demands.iter().enumerate() {
+            let id = TaskId::new(job_no * 1000 + k as u64);
+            job.add_task(
+                TaskSpec::new(id, format!("t{job_no}-{k}"), "app")
+                    .with_cpu_demand(SimDuration::from_secs(*demand)),
+            );
+            ids.push(id);
+        }
+        for (a, b) in deps {
+            let (lo, hi) = (a.min(b), a.max(b));
+            if lo != hi {
+                job.add_dependency(ids[*lo], ids[*hi]);
+            }
+        }
+        // Scheduling can legitimately fail; both runs see the same
+        // spec, so failures are equivalence-preserving.
+        let _ = stack.submit_job(job);
+    }
+}
+
+/// A deterministic digest of everything the durability contract
+/// promises to reconstruct: the job repository, the retained MonALISA
+/// event log and eviction counter, the steering tracker (minus Condor
+/// ids, which are legitimately reissued on re-arm), and accounting.
+/// Metric *series* are snapshot-only by contract and excluded.
+fn digest(stack: &ServiceStack) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "evicted={}", stack.grid.monitor().evicted_count()).unwrap();
+    for e in stack.grid.monitor().events_snapshot() {
+        writeln!(out, "event {e:?}").unwrap();
+    }
+    for info in stack.jobmon.db_snapshot() {
+        writeln!(out, "jobmon {info:?}").unwrap();
+    }
+    for job in stack.steering.export_jobs() {
+        writeln!(
+            out,
+            "job {} rev={} notified={}",
+            job.plan.job_id(),
+            job.plan.revision,
+            job.completion_notified
+        )
+        .unwrap();
+        for a in &job.plan.assignments {
+            writeln!(out, "  assign {} -> {}", a.task, a.site).unwrap();
+        }
+        let mut task_ids: Vec<_> = job.tasks.keys().copied().collect();
+        task_ids.sort();
+        for t in task_ids {
+            let tracked = &job.tasks[&t];
+            let phase = match tracked.phase {
+                gae::core::steering::TaskPhase::WaitingPrereqs => "waiting".to_string(),
+                gae::core::steering::TaskPhase::Submitted { site, .. } => {
+                    format!("submitted@{site}")
+                }
+                gae::core::steering::TaskPhase::Done { site } => format!("done@{site}"),
+                gae::core::steering::TaskPhase::Failed => "failed".to_string(),
+                gae::core::steering::TaskPhase::Killed => "killed".to_string(),
+            };
+            writeln!(
+                out,
+                "  task {t} {phase} attempts={} moves={}",
+                tracked.recovery_attempts, tracked.moves
+            )
+            .unwrap();
+        }
+    }
+    for (user, balance) in stack.quota.balances_snapshot() {
+        writeln!(out, "balance {user} {balance:?}").unwrap();
+    }
+    for c in stack.quota.ledger() {
+        writeln!(out, "charge {c:?}").unwrap();
+    }
+    out
+}
+
+/// Reference run (no persistence, sequential driver): the digest at
+/// every commit point `0..=steps`.
+fn reference_digests(scenario: &Scenario) -> Vec<String> {
+    let grid = build_grid(scenario, DriverMode::Sequential, None);
+    let stack = ServiceStack::over(grid);
+    // Commit 0 is the state before anything was committed: empty.
+    let mut digests = vec![digest(&stack)];
+    submit_workload(scenario, &stack);
+    for step in 1..=scenario.steps {
+        stack.run_until(SimTime::from_secs(step as u64 * scenario.step_secs));
+        digests.push(digest(&stack));
+    }
+    digests
+}
+
+fn driver_for(scenario: &Scenario) -> DriverMode {
+    if scenario.sharded {
+        DriverMode::sharded(3)
+    } else {
+        DriverMode::Sequential
+    }
+}
+
+/// Runs the persisted stack to the crash horizon and drops it.
+fn persisted_run(scenario: &Scenario, config: &PersistenceConfig) {
+    let grid = build_grid(scenario, driver_for(scenario), Some(config));
+    let stack = ServiceStack::over(grid);
+    submit_workload(scenario, &stack);
+    for step in 1..=scenario.steps {
+        stack.run_until(SimTime::from_secs(step as u64 * scenario.step_secs));
+    }
+    // Process death: the stack is dropped with no orderly shutdown.
+}
+
+/// Applies the scenario's corruption to one on-disk store file.
+/// Returns a description of what was done (for failure messages).
+fn corrupt_store(scenario: &Scenario, dir: &std::path::Path) -> String {
+    let files = store_files(dir).expect("list store files");
+    assert!(!files.is_empty(), "persisted run left no store files");
+    let victim = &files[scenario.victim as usize % files.len()];
+    let len = std::fs::metadata(victim)
+        .map(|m| m.len() as usize)
+        .unwrap_or(0)
+        .max(1);
+    let extent = scenario.extent as usize % len;
+    let corruption = match scenario.kind {
+        0 => Corruption::TruncateTail {
+            bytes: extent as u64 + 1,
+        },
+        1 => Corruption::FlipBit {
+            offset: extent as u64,
+            bit: scenario.bit,
+        },
+        _ => Corruption::DuplicateTail {
+            bytes: extent as u64 + 1,
+        },
+    };
+    let applied = inject(victim, &corruption).expect("inject corruption");
+    format!("{corruption:?} applied={applied} to {}", victim.display())
+}
+
+proptest! {
+    // 128 cases by default (CI raises this via PROPTEST_CASES); the
+    // `sharded` flag inside the scenario alternates drivers, so both
+    // DriverMode::Sequential and DriverMode::Sharded recovery paths
+    // see ~half the corpus each.
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn recovery_is_prefix_consistent_with_uncrashed_run(scenario in arb_scenario()) {
+        let dir = unique_temp_dir("crash-recovery");
+        let config = PersistenceConfig::new(&dir)
+            .snapshot_every(SimDuration::from_secs(
+                scenario.snapshot_steps * scenario.step_secs,
+            ))
+            .fsync(false);
+        let digests = reference_digests(&scenario);
+        persisted_run(&scenario, &config);
+        let what = corrupt_store(&scenario, &dir);
+
+        // Recovery must always succeed under a single fault, and may
+        // recover with the opposite driver mode from the writer.
+        let grid = build_grid(&scenario, driver_for(&scenario), None);
+        let (stack, report) = ServiceStack::recover_from_disk(
+            grid,
+            SteeringPolicy::default(),
+            SimDuration::from_secs(5),
+            &config,
+        )
+        .unwrap_or_else(|e| panic!("recovery failed after {what}: {e}"));
+
+        let j = report.commit_index as usize;
+        prop_assert!(
+            j < digests.len(),
+            "recovered commit index {j} beyond {} reference commits ({what})",
+            digests.len() - 1
+        );
+        prop_assert_eq!(
+            digest(&stack),
+            digests[j].clone(),
+            "state diverged at commit {} ({}) scenario={:?}",
+            j,
+            what,
+            scenario
+        );
+        // Every resubmitted task must have been in the Submitted phase
+        // of the recovered tracker.
+        for t in &report.resubmitted {
+            let job = stack.steering.export_jobs()
+                .into_iter()
+                .find(|jb| jb.tasks.contains_key(t))
+                .expect("resubmitted task is tracked");
+            prop_assert!(matches!(
+                job.tasks[t].phase,
+                gae::core::steering::TaskPhase::Submitted { .. }
+            ));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// After recovery the stack is live: driving it onwards settles every
+/// recovered task exactly once (no duplicate submissions, no losses).
+#[test]
+fn recovered_stack_runs_to_completion() {
+    let dir = unique_temp_dir("crash-continue");
+    let config = PersistenceConfig::new(&dir)
+        .snapshot_every(SimDuration::from_secs(30))
+        .fsync(false);
+    let scenario = Scenario {
+        sites: vec![(2, 2, 0), (1, 1, 2), (2, 1, 0)],
+        flock_edges: vec![],
+        jobs: vec![
+            (vec![40, 25, 30], vec![(0, 1), (1, 2)]),
+            (vec![15, 0], vec![]),
+        ],
+        steps: 3,
+        step_secs: 20,
+        snapshot_steps: 1,
+        sharded: false,
+        victim: 0,
+        kind: 0,
+        extent: 0,
+        bit: 0,
+    };
+    persisted_run(&scenario, &config);
+
+    let grid = build_grid(&scenario, DriverMode::sharded(2), None);
+    let (stack, report) = ServiceStack::recover_from_disk(
+        grid,
+        SteeringPolicy::default(),
+        SimDuration::from_secs(5),
+        &config,
+    )
+    .expect("uncorrupted recovery");
+    assert_eq!(report.commit_index, 3, "three run_until commit points");
+    assert!(!report.tail_was_torn);
+    assert!(!report.used_fallback);
+
+    // Finish the work: every tracked task must settle.
+    stack.run_until(SimTime::from_secs(400));
+    let jobs = stack.steering.export_jobs();
+    assert!(!jobs.is_empty(), "recovered tracker lost the jobs");
+    for job in &jobs {
+        for (t, tracked) in &job.tasks {
+            assert!(
+                tracked.phase.is_settled(),
+                "{t} did not settle after recovery: {:?}",
+                tracked.phase
+            );
+        }
+    }
+    // Exactly-once accounting: one completion charge per task, spread
+    // over the pre-crash ledger (restored) and the post-crash run.
+    let total_tasks: usize = jobs.iter().map(|j| j.tasks.len()).sum();
+    assert!(stack.quota.ledger().len() <= total_tasks);
+    std::fs::remove_dir_all(&dir).ok();
+}

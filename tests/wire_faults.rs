@@ -1,0 +1,120 @@
+//! Fault paths of the wire layer (ISSUE 2 satellite): truncated
+//! framing, oversized declared lengths, and invalid UTF-8 must all
+//! surface as typed `GaeError`s — never a panic. The byte-level
+//! mutations reuse the durable layer's crash-injection helpers.
+
+use gae::durable::fault::{corrupt_bytes, Corruption};
+use gae::rpc::http::read_request;
+use gae::types::GaeError;
+use gae::wire::{parse_call, parse_response, parse_value_document, write_call, MethodCall, Value};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+#[test]
+fn invalid_utf8_is_a_typed_parse_error() {
+    // A valid document with one byte swapped for a lone continuation
+    // byte, plus some classic invalid sequences.
+    let mut doc = write_call(&MethodCall {
+        name: "ping".into(),
+        params: vec![Value::from(1u64)],
+    })
+    .into_bytes();
+    doc[10] = 0xFF;
+    for body in [
+        doc.as_slice(),
+        &[0xC0, 0xAF],             // overlong encoding
+        &[0xED, 0xA0, 0x80],       // UTF-16 surrogate half
+        &[0xF5, 0x80, 0x80, 0x80], // beyond U+10FFFF
+    ] {
+        assert!(
+            matches!(parse_call(body), Err(GaeError::Parse(_))),
+            "parse_call accepted invalid UTF-8"
+        );
+        assert!(
+            matches!(parse_response(body), Err(GaeError::Parse(_))),
+            "parse_response accepted invalid UTF-8"
+        );
+    }
+}
+
+#[test]
+fn bad_entities_and_documents_are_typed_errors() {
+    for doc in [
+        "<value><int>&#xD800;</int></value>", // surrogate code point
+        "<value><int>&#99999999999;</int></value>", // beyond char range
+        "<value><int>&nosuch;</int></value>", // unknown entity
+        "<value><int>1</int>",                // unterminated
+        "<value><base64>@@@@</base64></value>", // invalid base64
+        "<value><dateTime.iso8601>20250101T99:99:99</dateTime.iso8601></value>",
+    ] {
+        let out = parse_value_document(doc);
+        assert!(out.is_err(), "{doc:?} parsed as {out:?}");
+    }
+}
+
+#[test]
+fn truncated_content_length_is_io_error() {
+    // Declares ten body bytes, supplies five: a torn frame.
+    let torn: &[u8] = b"POST /RPC2 HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+    assert!(matches!(
+        read_request(&mut BufReader::new(torn)),
+        Err(GaeError::Io(_))
+    ));
+}
+
+#[test]
+fn oversized_declared_length_is_rejected_up_front() {
+    // Just past the 16 MiB body cap: refused before any allocation.
+    let huge = format!(
+        "POST /RPC2 HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        16 * 1024 * 1024 + 1
+    );
+    assert!(matches!(
+        read_request(&mut BufReader::new(huge.as_bytes())),
+        Err(GaeError::ResourceExhausted(_))
+    ));
+    // Wider than usize itself: a parse error, not a panic.
+    let absurd: &[u8] =
+        b"POST /RPC2 HTTP/1.1\r\nContent-Length: 99999999999999999999999999\r\n\r\n";
+    assert!(matches!(
+        read_request(&mut BufReader::new(absurd)),
+        Err(GaeError::Parse(_))
+    ));
+}
+
+fn arb_corruption() -> impl Strategy<Value = Corruption> {
+    prop_oneof![
+        (1u64..256).prop_map(|bytes| Corruption::TruncateTail { bytes }),
+        (0u64..512, 0u8..8).prop_map(|(offset, bit)| Corruption::FlipBit { offset, bit }),
+        (1u64..256).prop_map(|bytes| Corruption::DuplicateTail { bytes }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Any single corruption of a well-formed call document — torn
+    /// tail, flipped bit, duplicated segment — must yield either a
+    /// clean parse or a typed error. The proptest harness treats a
+    /// panic as a failure, so reaching the end of the case body is
+    /// the assertion.
+    #[test]
+    fn corrupted_call_documents_never_panic(
+        method in "[a-z]{1,12}",
+        arg in any::<u64>(),
+        text in "[ -~]{0,40}",
+        corruption in arb_corruption(),
+    ) {
+        let mut doc = write_call(&MethodCall {
+            name: method,
+            params: vec![Value::from(arg), Value::from(text)],
+        })
+        .into_bytes();
+        corrupt_bytes(&mut doc, &corruption);
+        let _ = parse_call(&doc);
+        let _ = parse_response(&doc);
+        if let Ok(s) = std::str::from_utf8(&doc) {
+            let _ = parse_value_document(s);
+        }
+    }
+}

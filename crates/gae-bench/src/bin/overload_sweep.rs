@@ -1,0 +1,50 @@
+//! Figure 6 re-run behind the admission gate: response time AND shed
+//! rate as parallel clients grow (1, 2, 3, 5, 25, 50, 100).
+//!
+//! Where the original curve climbs without bound, the gated server
+//! keeps admitted-request latency flat and converts the excess load
+//! into typed `Overloaded` faults with a machine-readable retry-after
+//! (DESIGN.md §9).
+//!
+//! ```text
+//! cargo run -p gae-bench --bin overload_sweep --release
+//! ```
+
+use gae_bench::gate::{gate_sweep, GateSweepConfig, PAPER_CLIENT_COUNTS};
+
+fn main() {
+    let config = GateSweepConfig::default();
+    println!("== Overload sweep: Figure 6 testbed behind gae-gate ==");
+    println!(
+        "transport: XML-RPC over HTTP over loopback TCP; {} workers; \
+         {} requests/client; emulated service time {} ms; \
+         queue capacity {}; queue deadline {} ms\n",
+        config.workers,
+        config.requests_per_client,
+        config.service_delay_ms,
+        config.queue_capacity,
+        config.queue_deadline_ms
+    );
+    println!(
+        "{:>8}  {:>9}  {:>6}  {:>14}  {:>13}  {:>11}  {:>10}",
+        "clients", "admitted", "shed", "adm. mean (ms)", "adm. max (ms)", "shed ms", "peak depth"
+    );
+    for row in gate_sweep(&PAPER_CLIENT_COUNTS, config) {
+        println!(
+            "{:>8}  {:>9}  {:>6}  {:>14.2}  {:>13.2}  {:>11.2}  {:>10}",
+            row.clients,
+            row.admitted,
+            row.shed,
+            row.admitted_mean_ms,
+            row.admitted_max_ms,
+            row.shed_mean_ms,
+            row.peak_queue_depth
+        );
+    }
+    println!(
+        "\nexpected shape: admitted latency flat near \
+         (queue_depth/workers + 1) × service time even at 100 clients; \
+         shed count grows with offered load; queue depth never exceeds \
+         its configured capacity."
+    );
+}

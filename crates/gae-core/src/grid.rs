@@ -16,6 +16,7 @@ use crate::quota::QuotaService;
 use crate::steering::{SteeringPolicy, SteeringService};
 use gae_durable::DurableStore;
 use gae_exec::{Checkpoint, ExecEvent, ExecutionService, SiteConfig};
+use gae_gate::{Gate, GateClass, GateClock, GateConfig, Principal};
 use gae_monitor::{MetricKey, MonAlisaRepository, Sample};
 use gae_sched::Scheduler;
 use gae_sim::{LoadTrace, NetworkModel};
@@ -92,6 +93,8 @@ pub struct Grid {
     driver: DriverMode,
     /// Where a service stack over this grid should persist itself.
     persist_config: Option<PersistenceConfig>,
+    /// Admission-control policy for service stacks over this grid.
+    gate_config: Option<GateConfig>,
 }
 
 /// Builder for [`Grid`].
@@ -101,6 +104,7 @@ pub struct GridBuilder {
     monitor: Option<Arc<MonAlisaRepository>>,
     driver: DriverMode,
     persist: Option<PersistenceConfig>,
+    gate: Option<GateConfig>,
 }
 
 impl GridBuilder {
@@ -112,7 +116,17 @@ impl GridBuilder {
             monitor: None,
             driver: DriverMode::Sequential,
             persist: None,
+            gate: None,
         }
+    }
+
+    /// Sets the admission-control policy for service stacks built
+    /// over this grid: per-principal rate limits, the bounded
+    /// priority admission queue, and downstream circuit breakers.
+    /// Without it the gate runs with [`GateConfig::default`].
+    pub fn gate(mut self, config: GateConfig) -> Self {
+        self.gate = Some(config);
+        self
     }
 
     /// Selects the advancement driver (sequential by default).
@@ -214,6 +228,7 @@ impl GridBuilder {
             metric_keys,
             driver: self.driver,
             persist_config: self.persist,
+            gate_config: self.gate,
         });
         grid.publish_metrics();
         grid
@@ -319,6 +334,11 @@ impl Grid {
     /// The persistence configuration the builder attached, if any.
     pub fn persistence_config(&self) -> Option<&PersistenceConfig> {
         self.persist_config.as_ref()
+    }
+
+    /// The admission-control policy the builder attached, if any.
+    pub fn gate_config(&self) -> Option<GateConfig> {
+        self.gate_config
     }
 
     /// The sites partitioned into at most `threads` contiguous chunks
@@ -609,6 +629,75 @@ pub struct FlockMove {
     pub condor: CondorId,
 }
 
+/// A [`GateClock`] reading the grid's virtual time, so admission
+/// decisions replay deterministically inside simulations. (A gate
+/// fronting a real TCP server wants `gae_gate::WallClock` instead —
+/// virtual time only advances when something drives the grid.)
+struct GridClock(Arc<Grid>);
+
+impl GateClock for GridClock {
+    fn now(&self) -> SimTime {
+        self.0.now()
+    }
+}
+
+/// Interned publication keys for the gate counters, in the flattened
+/// order [`gate_stat_values`] produces.
+struct GateMetricKeys {
+    counters: Vec<MetricKey>,
+    queue_depth: MetricKey,
+    peak_queue_depth: MetricKey,
+}
+
+/// The gate counter parameter names, metric-major; class suffixes
+/// come from [`GateClass::ALL`] (e.g. `admitted_production`).
+const GATE_COUNTER_STEMS: [&str; 5] = [
+    "admitted",
+    "rate_limited",
+    "shed",
+    "expired",
+    "breaker_denied",
+];
+
+impl GateMetricKeys {
+    /// Interns `(site 0, "gate", "<stem>_<class>")` for every counter
+    /// plus the two queue-depth gauges.
+    fn intern() -> GateMetricKeys {
+        let zero = SiteId::new(0);
+        let entity: Arc<str> = Arc::from("gate");
+        let mut counters = Vec::with_capacity(GATE_COUNTER_STEMS.len() * GateClass::ALL.len());
+        for stem in GATE_COUNTER_STEMS {
+            for class in GateClass::ALL {
+                counters.push(MetricKey::new(
+                    zero,
+                    entity.clone(),
+                    format!("{stem}_{}", class.name()),
+                ));
+            }
+        }
+        GateMetricKeys {
+            counters,
+            queue_depth: MetricKey::new(zero, entity.clone(), "queue_depth"),
+            peak_queue_depth: MetricKey::new(zero, entity, "peak_queue_depth"),
+        }
+    }
+}
+
+/// Flattens a [`gae_gate::GateStats`] snapshot in the same
+/// metric-major, class-minor order as [`GateMetricKeys::intern`].
+fn gate_stat_values(stats: &gae_gate::GateStats) -> Vec<f64> {
+    [
+        stats.admitted,
+        stats.rate_limited,
+        stats.shed,
+        stats.expired,
+        stats.breaker_denied,
+    ]
+    .iter()
+    .flat_map(|arr| arr.iter().map(|v| *v as f64))
+    .collect()
+}
+
 /// The full Figure 1 deployment wired over one grid.
 pub struct ServiceStack {
     /// The fabric.
@@ -623,6 +712,8 @@ pub struct ServiceStack {
     pub scheduler: Arc<Scheduler>,
     /// Steering Service (§4).
     pub steering: Arc<SteeringService>,
+    /// Admission control & overload protection for the front door.
+    pub gate: Arc<Gate>,
     /// How often the polling services run (collector + steering).
     poll_period: SimDuration,
     next_poll: Mutex<SimTime>,
@@ -632,6 +723,9 @@ pub struct ServiceStack {
     /// Interned keys for the estimator memo-cache counters published
     /// each poll (`(site 0, "estimator", "memo_hits"/"memo_misses")`).
     memo_keys: (MetricKey, MetricKey),
+    /// Interned keys for the gate counters published each poll
+    /// (`(site 0, "gate", ...)`).
+    gate_keys: GateMetricKeys,
 }
 
 impl ServiceStack {
@@ -698,6 +792,21 @@ impl ServiceStack {
             quota.clone(),
             policy,
         ));
+        // The gate reads the grid's virtual clock and classifies by
+        // quota standing: a principal billed into the red (grids bill
+        // after the fact) drops to Scavenger — first shed, last run.
+        let gate = Gate::new(
+            grid.gate_config().unwrap_or_default(),
+            Arc::new(GridClock(grid.clone())),
+        );
+        {
+            let quota = quota.clone();
+            gate.set_class_resolver(move |principal: &Principal| match principal.user {
+                Some(user) if quota.balance(user) < 0.0 => GateClass::Scavenger,
+                _ => GateClass::Production,
+            });
+        }
+        steering.attach_gate(gate.clone());
         let memo_keys = (
             MetricKey::new(SiteId::new(0), "estimator", "memo_hits"),
             MetricKey::new(SiteId::new(0), "estimator", "memo_misses"),
@@ -709,10 +818,12 @@ impl ServiceStack {
             jobmon,
             scheduler,
             steering,
+            gate,
             poll_period,
             next_poll: Mutex::new(SimTime::ZERO + poll_period),
             persistence: RwLock::new(None),
             memo_keys,
+            gate_keys: GateMetricKeys::intern(),
         })
     }
 
@@ -773,7 +884,7 @@ impl ServiceStack {
         // rates; keys are interned at construction.
         let (hits, misses) = self.estimators.memo_stats();
         let at = self.grid.now();
-        self.grid.monitor().publish_batch(vec![
+        let mut samples = vec![
             (
                 self.memo_keys.0.clone(),
                 Sample {
@@ -788,7 +899,43 @@ impl ServiceStack {
                     value: misses as f64,
                 },
             ),
-        ]);
+        ];
+        // Gate counters ride the same batch: admitted/shed/expired/
+        // rate-limited/breaker-denied per class, queue depth gauges,
+        // and one `breaker_<key>` state sample per materialised
+        // breaker (closed=0, open=1, half-open=2).
+        let stats = self.gate.stats();
+        samples.extend(
+            self.gate_keys
+                .counters
+                .iter()
+                .zip(gate_stat_values(&stats))
+                .map(|(key, value)| (key.clone(), Sample { at, value })),
+        );
+        samples.push((
+            self.gate_keys.queue_depth.clone(),
+            Sample {
+                at,
+                value: stats.queue_depth as f64,
+            },
+        ));
+        samples.push((
+            self.gate_keys.peak_queue_depth.clone(),
+            Sample {
+                at,
+                value: stats.peak_queue_depth as f64,
+            },
+        ));
+        for (key, state) in self.gate.breaker_states() {
+            samples.push((
+                MetricKey::new(SiteId::new(0), "gate", format!("breaker_{key}")),
+                Sample {
+                    at,
+                    value: state.as_metric(),
+                },
+            ));
+        }
+        self.grid.monitor().publish_batch(samples);
     }
 
     /// A full, deterministic image of every persisted service.

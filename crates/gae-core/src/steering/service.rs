@@ -161,6 +161,10 @@ pub struct SteeringService {
     moves: Mutex<Vec<MoveRecord>>,
     execution_states: Mutex<HashMap<TaskId, ExecutionState>>,
     persist: RwLock<Option<Arc<Persistence>>>,
+    /// The gate whose circuit breakers guard downstream calls
+    /// (execution sites and the scheduler). Installed by the
+    /// composition root; absent in bare unit-test wirings.
+    gate: RwLock<Option<Arc<gae_gate::Gate>>>,
 }
 
 impl SteeringService {
@@ -187,7 +191,18 @@ impl SteeringService {
             moves: Mutex::new(Vec::new()),
             execution_states: Mutex::new(HashMap::new()),
             persist: RwLock::new(None),
+            gate: RwLock::new(None),
         }
+    }
+
+    /// Installs the gate whose breaker bank guards downstream calls.
+    pub(crate) fn attach_gate(&self, gate: Arc<gae_gate::Gate>) {
+        *self.gate.write() = Some(gate);
+    }
+
+    /// The breaker key for an execution site.
+    fn exec_breaker_key(site: SiteId) -> String {
+        format!("exec-site-{}", site.raw())
     }
 
     // ---- durability (Backup & Recovery's persistent half) ----
@@ -415,7 +430,21 @@ impl SteeringService {
             .estimate_runtime(site, &spec)
             .map(|e| e.runtime)
             .unwrap_or_else(|_| SimDuration::from_secs_f64(spec.requested_cpu_hours * 3600.0));
-        let condor = self.grid.submit(site, spec, checkpoint)?;
+        // The site's circuit breaker: a site that failed its last N
+        // submissions is not re-contacted until its cooldown probe —
+        // the typed Overloaded error routes recovery elsewhere.
+        let gate = self.gate.read().clone();
+        if let Some(gate) = &gate {
+            gate.breaker_check(
+                &Self::exec_breaker_key(site),
+                gae_gate::GateClass::Production,
+            )?;
+        }
+        let submitted = self.grid.submit(site, spec, checkpoint);
+        if let Some(gate) = &gate {
+            gate.breaker_record(&Self::exec_breaker_key(site), submitted.is_ok());
+        }
+        let condor = submitted?;
         self.estimators.record_submission(site, condor, estimate);
         if let Some(tracked) = self.jobs.write().get_mut(&job_id) {
             if let Some(t) = tracked.tasks.get_mut(&task) {
@@ -803,10 +832,23 @@ impl SteeringService {
             return;
         }
         let preference = self.policy.read().preference;
-        match self
+        // The scheduler's breaker: a scheduler failing every
+        // reschedule in a row is left alone for a cooldown instead of
+        // being hammered once per recovery.
+        let gate = self.gate.read().clone();
+        if let Some(gate) = &gate {
+            if let Err(e) = gate.breaker_check("sched", gae_gate::GateClass::Production) {
+                self.fail_task(job_id, task, &format!("scheduler breaker open: {e}"));
+                return;
+            }
+        }
+        let rescheduled = self
             .scheduler
-            .reschedule_task(&plan, task, &[failed_site], preference)
-        {
+            .reschedule_task(&plan, task, &[failed_site], preference);
+        if let Some(gate) = &gate {
+            gate.breaker_record("sched", rescheduled.is_ok());
+        }
+        match rescheduled {
             Ok(new_plan) => {
                 let new_site = new_plan.site_of(task).expect("rescheduled task");
                 let spec = new_plan.job.task(task).expect("known task").clone();

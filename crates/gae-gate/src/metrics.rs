@@ -1,0 +1,158 @@
+//! Gate observability: monotonic per-class counters plus gauges.
+//!
+//! The counters are lock-free atomics bumped on the admission hot
+//! path; the wiring layer snapshots them each service tick and
+//! publishes the snapshot to MonALISA, where the existing
+//! `monalisa.*` RPC facade makes them queryable.
+
+use crate::limiter::GateClass;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// One monotonic counter per priority class.
+#[derive(Default)]
+pub struct ClassCounters {
+    counts: [AtomicU64; GateClass::ALL.len()],
+}
+
+impl ClassCounters {
+    /// Increments the class's counter.
+    pub fn bump(&self, class: GateClass) {
+        self.counts[class as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current value for one class.
+    pub fn get(&self, class: GateClass) -> u64 {
+        self.counts[class as usize].load(Ordering::Relaxed)
+    }
+
+    /// Sum across classes.
+    pub fn total(&self) -> u64 {
+        GateClass::ALL.iter().map(|c| self.get(*c)).sum()
+    }
+}
+
+/// All gate counters, shared between the admission front (limiter),
+/// the queue and the wiring layer.
+#[derive(Default)]
+pub struct GateMetrics {
+    /// Requests that passed rate limiting (per class).
+    pub admitted: ClassCounters,
+    /// Requests denied by a principal's token bucket (per class).
+    pub rate_limited: ClassCounters,
+    /// Requests shed by the bounded queue — rejected on arrival or
+    /// displaced by higher-priority work (per class).
+    pub shed: ClassCounters,
+    /// Requests whose queue deadline expired before a worker picked
+    /// them up (per class).
+    pub expired: ClassCounters,
+    /// Requests denied because a circuit breaker was open.
+    pub breaker_denied: ClassCounters,
+    /// Entries currently waiting in the admission queue (gauge).
+    queue_depth: AtomicUsize,
+    /// Highest queue depth ever observed (gauge, monotonic).
+    peak_queue_depth: AtomicUsize,
+}
+
+impl GateMetrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the instantaneous queue depth (and its running peak).
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Entries currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Highest depth the queue ever reached.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.peak_queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of every counter, for publication.
+    pub fn snapshot(&self) -> GateStats {
+        let per_class = |c: &ClassCounters| GateClass::ALL.map(|k| c.get(k));
+        GateStats {
+            admitted: per_class(&self.admitted),
+            rate_limited: per_class(&self.rate_limited),
+            shed: per_class(&self.shed),
+            expired: per_class(&self.expired),
+            breaker_denied: per_class(&self.breaker_denied),
+            queue_depth: self.queue_depth(),
+            peak_queue_depth: self.peak_queue_depth(),
+        }
+    }
+}
+
+/// A snapshot of [`GateMetrics`], indexed by [`GateClass::ALL`] order
+/// (interactive, production, scavenger).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GateStats {
+    /// Admitted per class.
+    pub admitted: [u64; 3],
+    /// Rate-limited per class.
+    pub rate_limited: [u64; 3],
+    /// Shed per class.
+    pub shed: [u64; 3],
+    /// Deadline-expired per class.
+    pub expired: [u64; 3],
+    /// Breaker-denied per class.
+    pub breaker_denied: [u64; 3],
+    /// Instantaneous queue depth.
+    pub queue_depth: usize,
+    /// Peak queue depth.
+    pub peak_queue_depth: usize,
+}
+
+impl GateStats {
+    /// Total admitted across classes.
+    pub fn total_admitted(&self) -> u64 {
+        self.admitted.iter().sum()
+    }
+
+    /// Total rejected across classes and reasons (rate limit + shed +
+    /// expired + breaker).
+    pub fn total_rejected(&self) -> u64 {
+        self.rate_limited.iter().sum::<u64>()
+            + self.shed.iter().sum::<u64>()
+            + self.expired.iter().sum::<u64>()
+            + self.breaker_denied.iter().sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_index_by_class() {
+        let m = GateMetrics::new();
+        m.admitted.bump(GateClass::Interactive);
+        m.admitted.bump(GateClass::Scavenger);
+        m.shed.bump(GateClass::Scavenger);
+        assert_eq!(m.admitted.get(GateClass::Interactive), 1);
+        assert_eq!(m.admitted.get(GateClass::Production), 0);
+        assert_eq!(m.admitted.total(), 2);
+        let s = m.snapshot();
+        assert_eq!(s.admitted, [1, 0, 1]);
+        assert_eq!(s.shed, [0, 0, 1]);
+        assert_eq!(s.total_admitted(), 2);
+        assert_eq!(s.total_rejected(), 1);
+    }
+
+    #[test]
+    fn queue_depth_tracks_peak() {
+        let m = GateMetrics::new();
+        m.set_queue_depth(3);
+        m.set_queue_depth(7);
+        m.set_queue_depth(2);
+        assert_eq!(m.queue_depth(), 2);
+        assert_eq!(m.peak_queue_depth(), 7);
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod auth;
 pub mod discovery;
+pub mod gatedpool;
 pub mod host;
 pub mod http;
 pub mod inproc;
@@ -40,8 +41,9 @@ pub mod threadpool;
 
 pub use auth::{AccessControl, Credentials, SessionManager};
 pub use discovery::{Endpoint, LookupService};
+pub use gatedpool::{Disposition, GatedJob, GatedPool};
 pub use host::ServiceHost;
 pub use inproc::InProcClient;
 pub use service::{CallContext, MethodInfo, Rpc, Service};
 pub use tcp::{TcpRpcClient, TcpRpcServer};
-pub use threadpool::ThreadPool;
+pub use threadpool::{ExecuteError, ThreadPool};

@@ -9,10 +9,12 @@
 //! ("the service can handle a large number of clients as long as they
 //! do not exceed a certain limit", §7).
 
+use crate::gatedpool::{Disposition, GatedPool};
 use crate::host::ServiceHost;
 use crate::http::{read_request, read_response, HttpRequest, HttpResponse};
 use crate::service::Rpc;
-use crate::threadpool::ThreadPool;
+use crate::threadpool::{ExecuteError, ThreadPool};
+use gae_gate::{Gate, Principal};
 use gae_types::{GaeError, GaeResult, SessionId};
 use gae_wire::{parse_call, parse_response, write_call, write_response, MethodCall, Value};
 use std::io::BufReader;
@@ -21,6 +23,19 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// The virtual organisation requests are billed to when the session
+/// layer does not carry one (single-VO deployments, the common case).
+const DEFAULT_VO: &str = "gae";
+
+/// The request-processing backend behind a server's acceptor: either
+/// the plain bounded pool, or the gate's admission pipeline.
+enum Backend {
+    /// Bounded hand-off; saturation sheds with a generic overload fault.
+    Plain(ThreadPool),
+    /// Rate limiting + priority admission queue in front of the pool.
+    Gated(GatedPool, Arc<Gate>),
+}
 
 /// An XML-RPC server bound to a local TCP port.
 pub struct TcpRpcServer {
@@ -39,6 +54,36 @@ impl TcpRpcServer {
 
     /// Binds an explicit address.
     pub fn bind(host: Arc<ServiceHost>, workers: usize, addr: &str) -> GaeResult<TcpRpcServer> {
+        Self::bind_inner(host, workers, addr, None)
+    }
+
+    /// Binds `127.0.0.1:0` with `gate` fronting the request path:
+    /// every POST is classified and rate-limited per principal, then
+    /// queued through the gate's bounded priority admission queue.
+    pub fn start_gated(
+        host: Arc<ServiceHost>,
+        workers: usize,
+        gate: Arc<Gate>,
+    ) -> GaeResult<TcpRpcServer> {
+        Self::bind_gated(host, workers, "127.0.0.1:0", gate)
+    }
+
+    /// Binds an explicit address with `gate` fronting the request path.
+    pub fn bind_gated(
+        host: Arc<ServiceHost>,
+        workers: usize,
+        addr: &str,
+        gate: Arc<Gate>,
+    ) -> GaeResult<TcpRpcServer> {
+        Self::bind_inner(host, workers, addr, Some(gate))
+    }
+
+    fn bind_inner(
+        host: Arc<ServiceHost>,
+        workers: usize,
+        addr: &str,
+        gate: Option<Arc<Gate>>,
+    ) -> GaeResult<TcpRpcServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -50,7 +95,10 @@ impl TcpRpcServer {
             std::thread::Builder::new()
                 .name("gae-rpc-acceptor".to_string())
                 .spawn(move || {
-                    let pool = Arc::new(ThreadPool::new(workers));
+                    let pool = Arc::new(match gate {
+                        Some(g) => Backend::Gated(GatedPool::new(&g, workers), g),
+                        None => Backend::Plain(ThreadPool::new(workers)),
+                    });
                     let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
                     while !shutdown.load(Ordering::Acquire) {
                         match listener.accept() {
@@ -128,7 +176,7 @@ impl Drop for TcpRpcServer {
 /// write responses, honour keep-alive.
 fn serve_connection(
     host: Arc<ServiceHost>,
-    pool: Arc<ThreadPool>,
+    pool: Arc<Backend>,
     stream: TcpStream,
     peer: SocketAddr,
     shutdown: Arc<AtomicBool>,
@@ -180,23 +228,24 @@ fn serve_connection(
                 .write_to(&mut writer);
             return;
         }
-        // Hand the XML-RPC work to the pool and wait for the result:
-        // the pool size is the server's service capacity.
-        let (tx, rx) = crossbeam::channel::bounded::<Vec<u8>>(1);
-        let host2 = host.clone();
-        let peer_str = peer.to_string();
-        let submitted = pool.execute(move || {
-            let body = process_request(&host2, &request, &peer_str);
-            let _ = tx.send(body);
-        });
-        if !submitted {
-            let _ = HttpResponse::error(503, "Service Unavailable", "shutting down")
-                .write_to(&mut writer);
-            return;
-        }
-        let body = match rx.recv() {
+        // Hand the XML-RPC work to the backend and wait for the
+        // result: the pool size is the server's service capacity.
+        let body = match &*pool {
+            Backend::Plain(pool) => match dispatch_plain(&host, pool, request, &peer.to_string()) {
+                Some(b) => b,
+                None => {
+                    let _ = HttpResponse::error(503, "Service Unavailable", "shutting down")
+                        .write_to(&mut writer);
+                    return;
+                }
+            },
+            Backend::Gated(pool, gate) => {
+                dispatch_gated(&host, pool, gate, request, &peer.to_string())
+            }
+        };
+        let body = match body {
             Ok(b) => b,
-            Err(_) => return,
+            Err(()) => return, // backend vanished mid-request
         };
         served.fetch_add(1, Ordering::Relaxed);
         if HttpResponse::ok_xml(body).write_to(&mut writer).is_err() {
@@ -205,6 +254,98 @@ fn serve_connection(
         if !keep_alive {
             return;
         }
+    }
+}
+
+/// An XML-RPC fault response body for `e` (HTTP 200; the typed error
+/// round-trips through `GaeError::from_fault` on the client).
+fn fault_body(e: &GaeError) -> Vec<u8> {
+    write_response(&gae_wire::Response::Fault(gae_wire::Fault::from_error(e))).into_bytes()
+}
+
+/// Runs one request on the plain bounded pool. `Ok(body)` is the
+/// response to write (result, fault, or typed overload on
+/// saturation); `None` means the server is shutting down.
+fn dispatch_plain(
+    host: &Arc<ServiceHost>,
+    pool: &ThreadPool,
+    request: HttpRequest,
+    peer: &str,
+) -> Option<Result<Vec<u8>, ()>> {
+    let (tx, rx) = crossbeam::channel::bounded::<Vec<u8>>(1);
+    let host = host.clone();
+    let peer = peer.to_string();
+    match pool.execute(move || {
+        let body = process_request(&host, &request, &peer);
+        let _ = tx.send(body);
+    }) {
+        Ok(()) => Some(rx.recv().map_err(|_| ())),
+        Err(ExecuteError::Saturated { queue_depth }) => {
+            // The backlog is full: shed with a typed retry-after so
+            // clients back off instead of piling on. 10 ms ≈ one
+            // request service time at the measured throughput.
+            let _ = queue_depth;
+            Some(Ok(fault_body(&GaeError::Overloaded {
+                retry_after_us: 10_000,
+                shed_class: "pool".to_string(),
+            })))
+        }
+        Err(ExecuteError::ShuttingDown) => None,
+    }
+}
+
+/// Runs one request through the gate: principal attribution, token
+/// bucket, bounded priority queue. Every path yields a body.
+fn dispatch_gated(
+    host: &Arc<ServiceHost>,
+    pool: &GatedPool,
+    gate: &Arc<Gate>,
+    request: HttpRequest,
+    peer: &str,
+) -> Result<Vec<u8>, ()> {
+    // Attribute the request: a resolvable session bills its user,
+    // everything else shares the VO's anonymous principal. A *stale*
+    // session is not faulted here — the worker produces the proper
+    // Unauthorized fault.
+    let principal = request
+        .session()
+        .ok()
+        .flatten()
+        .and_then(|sid| host.resolve_session(Some(SessionId::new(sid)), peer).ok())
+        .and_then(|ctx| ctx.user)
+        .map(|u| Principal::user(u, DEFAULT_VO))
+        .unwrap_or_else(|| Principal::anonymous(DEFAULT_VO));
+    let class = match gate.admit(&principal) {
+        Ok(class) => class,
+        Err(e) => return Ok(fault_body(&e)),
+    };
+    let (tx, rx) = crossbeam::channel::bounded::<Vec<u8>>(1);
+    let host = host.clone();
+    let peer = peer.to_string();
+    let submitted = pool.submit(
+        class,
+        Box::new(move |disposition| {
+            let body = match disposition {
+                Disposition::Run => process_request(&host, &request, &peer),
+                Disposition::Expired { retry_after } | Disposition::Shed { retry_after } => {
+                    fault_body(&GaeError::Overloaded {
+                        retry_after_us: retry_after.as_micros().max(1),
+                        shed_class: class.name().to_string(),
+                    })
+                }
+            };
+            let _ = tx.send(body);
+        }),
+    );
+    match submitted {
+        // Accepted: the job is invoked exactly once (run, expired or
+        // displaced), so this recv always completes.
+        Ok(()) => rx.recv().map_err(|_| ()),
+        // Refused on arrival: queue full of equal-or-better work.
+        Err(retry_after) => Ok(fault_body(&GaeError::Overloaded {
+            retry_after_us: retry_after.as_micros().max(1),
+            shed_class: class.name().to_string(),
+        })),
     }
 }
 
@@ -280,7 +421,11 @@ impl TcpRpcClient {
             let stream = TcpStream::connect_timeout(&self.addr, self.timeout)
                 .map_err(|e| GaeError::Io(format!("connect {}: {e}", self.addr)))?;
             stream.set_nodelay(true)?;
+            // Both directions honour the per-call timeout: without the
+            // write half, a client stalls forever when the server's
+            // socket buffer fills under overload.
             stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
             self.reader = Some(BufReader::new(stream.try_clone()?));
             self.writer = Some(stream);
         }

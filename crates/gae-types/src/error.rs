@@ -51,6 +51,24 @@ pub enum GaeError {
     Io(String),
     /// Request timed out.
     Timeout(String),
+    /// The admission gate's per-principal token bucket denied the
+    /// request. `retry_after_us` is the machine-readable back-off the
+    /// client should wait before retrying.
+    RateLimited {
+        /// Microseconds until a token will be available.
+        retry_after_us: u64,
+    },
+    /// The admission gate shed the request under overload (queue
+    /// full, deadline expired, or circuit breaker open). Carries a
+    /// machine-readable `retry_after_us` back-off and the priority
+    /// class that was shed.
+    Overloaded {
+        /// Microseconds the client should back off before retrying.
+        retry_after_us: u64,
+        /// Priority class of the shed request ("interactive",
+        /// "production", "scavenger", or a breaker key).
+        shed_class: String,
+    },
 }
 
 impl GaeError {
@@ -69,6 +87,19 @@ impl GaeError {
             GaeError::ResourceExhausted(_) => "resource_exhausted",
             GaeError::Io(_) => "io",
             GaeError::Timeout(_) => "timeout",
+            GaeError::RateLimited { .. } => "rate_limited",
+            GaeError::Overloaded { .. } => "overloaded",
+        }
+    }
+
+    /// The machine-readable back-off carried by gate faults
+    /// ([`GaeError::RateLimited`] / [`GaeError::Overloaded`]), in
+    /// microseconds. `None` for every other variant.
+    pub fn retry_after_us(&self) -> Option<u64> {
+        match self {
+            GaeError::RateLimited { retry_after_us }
+            | GaeError::Overloaded { retry_after_us, .. } => Some(*retry_after_us),
+            _ => None,
         }
     }
 
@@ -87,6 +118,8 @@ impl GaeError {
             GaeError::ResourceExhausted(_) => 507,
             GaeError::Io(_) => 502,
             GaeError::Timeout(_) => 504,
+            GaeError::RateLimited { .. } => 429,
+            GaeError::Overloaded { .. } => 503,
         }
     }
 
@@ -114,6 +147,19 @@ impl GaeError {
             504 => strip("timeout: "),
             _ => message,
         };
+        // Gate faults carry their payload inside the fault string;
+        // recover the machine-readable fields before matching.
+        if code == 429 {
+            return GaeError::RateLimited {
+                retry_after_us: parse_tagged_u64(&message, "retry_after_us="),
+            };
+        }
+        if code == 503 {
+            return GaeError::Overloaded {
+                retry_after_us: parse_tagged_u64(&message, "retry_after_us="),
+                shed_class: parse_tagged_word(&message, "class=").unwrap_or_default(),
+            };
+        }
         match code {
             404 => GaeError::NotFound(message),
             401 => GaeError::Unauthorized(message),
@@ -127,6 +173,28 @@ impl GaeError {
             _ => GaeError::Rpc { code, message },
         }
     }
+}
+
+/// Extracts the integer following `tag` in `message` (0 if absent):
+/// the wire decoding of the gate faults' machine-readable fields.
+fn parse_tagged_u64(message: &str, tag: &str) -> u64 {
+    message
+        .split_once(tag)
+        .map(|(_, rest)| {
+            let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+            digits.parse().unwrap_or(0)
+        })
+        .unwrap_or(0)
+}
+
+/// Extracts the word following `tag` in `message` (up to the first
+/// non-identifier character).
+fn parse_tagged_word(message: &str, tag: &str) -> Option<String> {
+    message.split_once(tag).map(|(_, rest)| {
+        rest.chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '-')
+            .collect()
+    })
 }
 
 impl fmt::Display for GaeError {
@@ -152,6 +220,16 @@ impl fmt::Display for GaeError {
             GaeError::ResourceExhausted(why) => write!(f, "resource exhausted: {why}"),
             GaeError::Io(why) => write!(f, "io error: {why}"),
             GaeError::Timeout(why) => write!(f, "timeout: {why}"),
+            GaeError::RateLimited { retry_after_us } => {
+                write!(f, "rate limited: retry_after_us={retry_after_us}")
+            }
+            GaeError::Overloaded {
+                retry_after_us,
+                shed_class,
+            } => write!(
+                f,
+                "overloaded (class={shed_class}): retry_after_us={retry_after_us}"
+            ),
         }
     }
 }
@@ -193,11 +271,39 @@ mod tests {
             GaeError::ResourceExhausted("x".into()),
             GaeError::Io("x".into()),
             GaeError::Timeout("x".into()),
+            GaeError::RateLimited { retry_after_us: 7 },
+            GaeError::Overloaded {
+                retry_after_us: 9,
+                shed_class: "scavenger".into(),
+            },
         ];
         for e in cases {
             let back = GaeError::from_fault(e.fault_code(), "x".into());
             assert_eq!(back.kind(), e.kind(), "{e:?}");
         }
+    }
+
+    #[test]
+    fn gate_faults_roundtrip_their_payload() {
+        let cases = vec![
+            GaeError::RateLimited {
+                retry_after_us: 125_000,
+            },
+            GaeError::Overloaded {
+                retry_after_us: 2_500_000,
+                shed_class: "scavenger".into(),
+            },
+            GaeError::Overloaded {
+                retry_after_us: 0,
+                shed_class: "exec-site-3".into(),
+            },
+        ];
+        for e in cases {
+            let back = GaeError::from_fault(e.fault_code(), e.to_string());
+            assert_eq!(back, e, "full wire round trip");
+            assert_eq!(back.retry_after_us(), e.retry_after_us());
+        }
+        assert_eq!(GaeError::NotFound("x".into()).retry_after_us(), None);
     }
 
     #[test]
@@ -232,6 +338,12 @@ mod tests {
             GaeError::ResourceExhausted(String::new()).kind(),
             GaeError::Io(String::new()).kind(),
             GaeError::Timeout(String::new()).kind(),
+            GaeError::RateLimited { retry_after_us: 0 }.kind(),
+            GaeError::Overloaded {
+                retry_after_us: 0,
+                shed_class: String::new(),
+            }
+            .kind(),
             GaeError::Rpc {
                 code: 0,
                 message: String::new(),
@@ -246,6 +358,6 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        assert_eq!(kinds.len(), 11);
+        assert_eq!(kinds.len(), 13);
     }
 }

@@ -18,6 +18,24 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the message is handed back.
+        Full(T),
+        /// All receivers are gone; the message is handed back.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the message that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel drained
     /// and all senders are gone.
     #[derive(Debug, PartialEq, Eq)]
@@ -96,6 +114,37 @@ pub mod channel {
                     .wait(state)
                     .unwrap_or_else(|e| e.into_inner());
             }
+        }
+
+        /// Sends without blocking: `Err(Full)` when the channel is at
+        /// capacity, `Err(Disconnected)` when every receiver is gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            let full = self.0.cap.map(|c| state.queue.len() >= c).unwrap_or(false);
+            if full {
+                return Err(TrySendError::Full(value));
+            }
+            state.queue.push_back(value);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Messages currently buffered in the channel.
+        pub fn len(&self) -> usize {
+            self.0
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .queue
+                .len()
+        }
+
+        /// Whether the channel is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -285,6 +334,20 @@ mod tests {
         let (tx, rx) = unbounded();
         drop(rx);
         assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = bounded(2);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Ok(()));
+        assert_eq!(tx.len(), 2);
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+        assert_eq!(TrySendError::Full(9).into_inner(), 9);
     }
 
     #[test]

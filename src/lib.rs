@@ -19,6 +19,7 @@
 //! |---|---|---|
 //! | [`types`] | `gae-types` | ids, time base, jobs, plans, sites, errors |
 //! | [`wire`] | `gae-wire` | from-scratch XML-RPC codec |
+//! | [`gate`] | `gae-gate` | admission control: rate limits, shed queue, breakers |
 //! | [`rpc`] | `gae-rpc` | Clarens substitute: hosts, auth, transports, discovery |
 //! | [`sim`] | `gae-sim` | discrete-event engine, load traces, network model |
 //! | [`exec`] | `gae-exec` | Condor substitute: queues, accrual, job control |
@@ -58,6 +59,7 @@
 pub use gae_core as core;
 pub use gae_durable as durable;
 pub use gae_exec as exec;
+pub use gae_gate as gate;
 pub use gae_monitor as monitor;
 pub use gae_rpc as rpc;
 pub use gae_sched as sched;
@@ -74,5 +76,6 @@ pub mod prelude {
     pub use gae_core::persist::{PersistenceConfig, RecoveryReport};
     pub use gae_core::steering::{Notification, SteeringCommand, SteeringPolicy, SteeringService};
     pub use gae_core::{EstimatorService, QuotaService};
+    pub use gae_gate::{Gate, GateClass, GateConfig, GateStats, Principal};
     pub use gae_types::prelude::*;
 }

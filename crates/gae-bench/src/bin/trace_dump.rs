@@ -1,0 +1,43 @@
+//! Dumps the observability layer's view of a small grid run: one
+//! causal tree and lifecycle timeline per task, then the per-method /
+//! per-disposition latency table (DESIGN.md §10).
+//!
+//! ```text
+//! cargo run -p gae-bench --bin trace_dump --release
+//! ```
+
+use gae_core::grid::{GridBuilder, ServiceStack};
+use gae_types::prelude::*;
+
+fn main() {
+    let grid = GridBuilder::new()
+        .site_with_load(SiteDescription::new(SiteId::new(1), "busy", 2, 1), 2.0)
+        .site(SiteDescription::new(SiteId::new(2), "free", 2, 1))
+        .build();
+    let stack = ServiceStack::over(grid);
+
+    let mut job = JobSpec::new(JobId::new(1), "traced-demo", UserId::new(1));
+    for i in 1..=3u64 {
+        job.add_task(
+            TaskSpec::new(TaskId::new(i), format!("step-{i}"), "reco")
+                .with_cpu_demand(SimDuration::from_secs(60 * i)),
+        );
+    }
+    stack.submit_job(job).expect("schedulable");
+    stack.run_until(SimTime::from_secs(600));
+
+    println!("== per-task causal trees and timelines ==\n");
+    for i in 1..=3u64 {
+        let info = stack
+            .jobmon
+            .job_info(TaskId::new(i))
+            .expect("task monitored");
+        match stack.obs().render_condor(info.condor.raw()) {
+            Some(text) => println!("{text}"),
+            None => println!("condor {} left no trace", info.condor),
+        }
+    }
+
+    println!("== latency histograms ==\n");
+    print!("{}", stack.obs().render_histograms());
+}

@@ -39,6 +39,14 @@ impl EstimateDb {
         self.estimates.read().get(&condor).copied()
     }
 
+    /// Drops the estimate for a task that left the queue (collected,
+    /// killed, or failed). Without eviction the database grows without
+    /// bound in a long-running stack; §6.2 only ever consults the
+    /// estimates of *live* tasks, so dead entries are pure leak.
+    pub fn evict(&self, condor: CondorId) -> Option<SimDuration> {
+        self.estimates.write().remove(&condor)
+    }
+
     /// Number of stored estimates.
     pub fn len(&self) -> usize {
         self.estimates.read().len()

@@ -144,6 +144,25 @@ impl EstimatorService {
         self.db(site).ok().and_then(|db| db.get(condor))
     }
 
+    /// Evicts a finished task's submission-time estimate (§6.2 only
+    /// consults live tasks, so entries for collected/killed tasks are
+    /// a leak). Called from the steering collect path and from exec
+    /// completion replay; a miss is fine — flocked tasks may have
+    /// their estimate recorded under the destination site only.
+    pub fn evict_submission(&self, site: SiteId, condor: CondorId) {
+        if let Ok(db) = self.db(site) {
+            if db.evict(condor).is_some() {
+                self.invalidate_site(site);
+            }
+        }
+    }
+
+    /// Number of live submission-time estimates across every site
+    /// (boundedness diagnostics for tests and monitoring).
+    pub fn submission_estimate_count(&self) -> usize {
+        self.estimate_db.values().map(|db| db.len()).sum()
+    }
+
     /// §6.2: queue time of an already-submitted task, by Condor id.
     pub fn estimate_queue_time(&self, site: SiteId, condor: CondorId) -> GaeResult<SimDuration> {
         let exec = self.grid.exec(site)?;
@@ -250,7 +269,7 @@ impl Service for EstimatorRpc {
                 Ok(Value::from(
                     self.service
                         .transfer
-                        .estimate_bytes(from, to, bytes)
+                        .estimate_bytes(from, to, bytes)?
                         .as_secs_f64(),
                 ))
             }

@@ -6,7 +6,7 @@
 //! time."
 
 use gae_sim::NetworkModel;
-use gae_types::{FileRef, GaeResult, SimDuration, SiteId};
+use gae_types::{FileRef, GaeError, GaeResult, SimDuration, SiteId};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 
@@ -32,12 +32,18 @@ impl TransferEstimator {
 
     /// Measured bandwidth from `from` to `to`, probing on first use
     /// (iperf runs are expensive; Clarens cached them too).
+    ///
+    /// The cache lock is held across the whole check-probe-insert so
+    /// concurrent callers cannot double-probe: a second probe would
+    /// draw different rng noise and silently overwrite the first,
+    /// breaking probe-count determinism under the sharded driver.
     pub fn measured_bandwidth(&self, from: SiteId, to: SiteId) -> f64 {
-        if let Some(bw) = self.cache.lock().get(&(from, to)) {
+        let mut cache = self.cache.lock();
+        if let Some(bw) = cache.get(&(from, to)) {
             return *bw;
         }
         let probe = self.network.iperf_probe(from, to, &mut *self.rng.lock());
-        self.cache.lock().insert((from, to), probe.measured_bps);
+        cache.insert((from, to), probe.measured_bps);
         probe.measured_bps
     }
 
@@ -46,26 +52,44 @@ impl TransferEstimator {
         self.cache.lock().clear();
     }
 
-    /// Estimated time to move `bytes` from `from` to `to`.
-    pub fn estimate_bytes(&self, from: SiteId, to: SiteId, bytes: u64) -> SimDuration {
+    /// Estimated time to move `bytes` from `from` to `to`. A
+    /// partitioned or zero-bandwidth link yields a typed
+    /// [`GaeError::Estimator`] rather than a division-by-zero `inf`
+    /// (which would panic inside `SimDuration::from_secs_f64`).
+    pub fn estimate_bytes(&self, from: SiteId, to: SiteId, bytes: u64) -> GaeResult<SimDuration> {
         let bw = self.measured_bandwidth(from, to);
-        SimDuration::from_secs_f64(bytes as f64 / bw)
+        if !bw.is_finite() || bw <= 0.0 {
+            return Err(GaeError::Estimator(format!(
+                "no usable bandwidth from {from} to {to} (measured {bw} B/s)"
+            )));
+        }
+        let secs = bytes as f64 / bw;
+        if !secs.is_finite() {
+            return Err(GaeError::Estimator(format!(
+                "transfer estimate overflow for {bytes} bytes from {from} to {to}"
+            )));
+        }
+        Ok(SimDuration::from_secs_f64(secs))
     }
 
     /// Estimated time to stage a file's replica to `to`, using the
     /// nearest (fastest-estimated) replica. Zero if already there.
+    /// Replicas behind unusable links are skipped rather than
+    /// poisoning the minimum; the error names the file only when *no*
+    /// replica is reachable.
     pub fn estimate_file(&self, file: &FileRef, to: SiteId) -> GaeResult<SimDuration> {
         if file.available_at(to) {
             return Ok(SimDuration::ZERO);
         }
         file.replicas
             .iter()
-            .map(|src| self.estimate_bytes(*src, to, file.size_bytes))
+            .filter_map(|src| self.estimate_bytes(*src, to, file.size_bytes).ok())
             .min()
             .ok_or_else(|| {
-                gae_types::GaeError::Estimator(format!(
-                    "{} has no replica to stage from",
-                    file.logical_name
+                GaeError::Estimator(format!(
+                    "{} has no usable replica to stage from (of {})",
+                    file.logical_name,
+                    file.replicas.len()
                 ))
             })
     }
@@ -109,7 +133,10 @@ mod tests {
     fn estimate_close_to_truth() {
         let est = estimator();
         let bytes = 100_000_000u64; // 10 s at 10 MB/s
-        let predicted = est.estimate_bytes(sid(1), sid(2), bytes).as_secs_f64();
+        let predicted = est
+            .estimate_bytes(sid(1), sid(2), bytes)
+            .unwrap()
+            .as_secs_f64();
         let actual = est.true_transfer_time(sid(1), sid(2), bytes).as_secs_f64();
         let rel = (predicted - actual).abs() / actual;
         // Probe noise is ±5 % plus the ignored 10 ms latency.

@@ -641,6 +641,18 @@ impl GateClock for GridClock {
     }
 }
 
+/// An [`gae_obs::ObsClock`] on the same virtual timeline, so spans,
+/// histograms and lifecycle timelines are deterministic functions of
+/// the workload — two runs of the same seed produce byte-identical
+/// trace trees in both driver modes.
+struct GridObsClock(Arc<Grid>);
+
+impl gae_obs::ObsClock for GridObsClock {
+    fn now(&self) -> SimTime {
+        self.0.now()
+    }
+}
+
 /// Interned publication keys for the gate counters, in the flattened
 /// order [`gate_stat_values`] produces.
 struct GateMetricKeys {
@@ -714,6 +726,9 @@ pub struct ServiceStack {
     pub steering: Arc<SteeringService>,
     /// Admission control & overload protection for the front door.
     pub gate: Arc<Gate>,
+    /// Observability: request traces, latency histograms, per-CondorId
+    /// lifecycle timelines — all on the grid's virtual clock.
+    obs: Arc<gae_obs::ObsHub>,
     /// How often the polling services run (collector + steering).
     poll_period: SimDuration,
     next_poll: Mutex<SimTime>,
@@ -807,6 +822,19 @@ impl ServiceStack {
             });
         }
         steering.attach_gate(gate.clone());
+        // The observability hub shares the grid's virtual clock and is
+        // threaded into every layer that emits spans or instants. The
+        // gate reports admission dispositions through its callback so
+        // gae-gate never depends on the obs crate.
+        let obs = gae_obs::ObsHub::new(Arc::new(GridObsClock(grid.clone())));
+        steering.attach_obs(obs.clone());
+        jobmon.attach_obs(obs.clone());
+        {
+            let hub = obs.clone();
+            gate.set_disposition_observer(move |disposition, latency| {
+                hub.record_gate(disposition, latency);
+            });
+        }
         let memo_keys = (
             MetricKey::new(SiteId::new(0), "estimator", "memo_hits"),
             MetricKey::new(SiteId::new(0), "estimator", "memo_misses"),
@@ -819,6 +847,7 @@ impl ServiceStack {
             scheduler,
             steering,
             gate,
+            obs,
             poll_period,
             next_poll: Mutex::new(SimTime::ZERO + poll_period),
             persistence: RwLock::new(None),
@@ -838,6 +867,15 @@ impl ServiceStack {
     /// The durable store, when one is attached.
     pub fn persistence(&self) -> Option<Arc<Persistence>> {
         self.persistence.read().clone()
+    }
+
+    /// The observability hub: request traces, latency histograms, and
+    /// per-CondorId lifecycle timelines, all on the grid's virtual
+    /// clock. Attach it to an RPC host
+    /// ([`gae_rpc::ServiceHost::attach_obs`]) to time every dispatched
+    /// method into it.
+    pub fn obs(&self) -> Arc<gae_obs::ObsHub> {
+        self.obs.clone()
     }
 
     /// Schedules a job and registers the concrete plan with the
@@ -934,6 +972,34 @@ impl ServiceStack {
                     value: state.as_metric(),
                 },
             ));
+        }
+        // Latency distributions under entity "obs": per-RPC-method and
+        // per-gate-disposition count + p50/p95/p99, key-sorted so the
+        // batch order is deterministic. The method set is dynamic, so
+        // these keys cannot be interned up front.
+        let obs_entity: Arc<str> = Arc::from("obs");
+        let mut push_dist = |prefix: &str, name: &str, s: gae_obs::HistogramSnapshot| {
+            for (suffix, value) in [
+                ("count", s.count as f64),
+                ("p50_us", s.p50_us as f64),
+                ("p95_us", s.p95_us as f64),
+                ("p99_us", s.p99_us as f64),
+            ] {
+                samples.push((
+                    MetricKey::new(
+                        SiteId::new(0),
+                        obs_entity.clone(),
+                        format!("{prefix}{name}_{suffix}"),
+                    ),
+                    Sample { at, value },
+                ));
+            }
+        };
+        for (method, snap) in self.obs.rpc_snapshot() {
+            push_dist("", &method, snap);
+        }
+        for (disposition, snap) in self.obs.gate_snapshot() {
+            push_dist("gate_", &disposition, snap);
         }
         self.grid.monitor().publish_batch(samples);
     }

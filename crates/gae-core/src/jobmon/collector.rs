@@ -59,6 +59,11 @@ impl JobInformationCollector {
             }
             drop(exec);
             db.store(info);
+            // The task left the queue: its submission-time estimate is
+            // dead weight in the §6.2 database from here on. Evicting
+            // on the terminal-event replay keeps a long-running stack
+            // bounded to live CondorIds.
+            self.estimators.evict_submission(site, event.condor);
         }
     }
 

@@ -19,6 +19,7 @@ pub struct DbManager {
     by_job: RwLock<HashMap<JobId, Vec<TaskId>>>,
     monitor: Arc<MonAlisaRepository>,
     persist: RwLock<Option<Arc<Persistence>>>,
+    obs: RwLock<Option<Arc<gae_obs::ObsHub>>>,
 }
 
 impl DbManager {
@@ -29,12 +30,18 @@ impl DbManager {
             by_job: RwLock::new(HashMap::new()),
             monitor,
             persist: RwLock::new(None),
+            obs: RwLock::new(None),
         }
     }
 
     /// Routes every future [`Self::store`] through the WAL.
     pub(crate) fn attach_persistence(&self, persistence: Arc<Persistence>) {
         *self.persist.write() = Some(persistence);
+    }
+
+    /// Routes lifecycle timelines and execution spans into the hub.
+    pub(crate) fn attach_obs(&self, obs: Arc<gae_obs::ObsHub>) {
+        *self.obs.write() = Some(obs);
     }
 
     /// Stores (or refreshes) a snapshot, logs it to the WAL when
@@ -58,7 +65,37 @@ impl DbManager {
             site: info.site,
             status: info.status,
         });
+        self.observe(&info);
         self.restore(info);
+    }
+
+    /// Assembles the task's lifecycle timeline and execution span
+    /// from the snapshot's own instants. Marks are first-write-wins
+    /// and the instants ride in the logged info, so WAL replay
+    /// rebuilds the identical timeline.
+    fn observe(&self, info: &JobMonitoringInfo) {
+        let Some(hub) = self.obs.read().clone() else {
+            return;
+        };
+        let condor = info.condor.raw();
+        hub.mark_at(condor, gae_obs::TimelineEvent::Submit, info.submitted_at);
+        if let Some(started) = info.started_at {
+            hub.mark_at(condor, gae_obs::TimelineEvent::Start, started);
+            let root = hub.condor_trace(
+                condor,
+                &format!("task {}/{}", info.job, info.task),
+                info.submitted_at,
+            );
+            hub.span(
+                root,
+                "exec.run",
+                started,
+                info.completed_at.unwrap_or(started),
+            );
+        }
+        if let Some(completed) = info.completed_at {
+            hub.mark_at(condor, gae_obs::TimelineEvent::Complete, completed);
+        }
     }
 
     /// Upserts without publishing or logging — the snapshot-restore

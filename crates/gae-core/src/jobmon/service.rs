@@ -98,6 +98,11 @@ impl JobMonitoringService {
         self.manager.db().attach_persistence(persistence);
     }
 
+    /// Routes lifecycle timelines and execution spans into the hub.
+    pub(crate) fn attach_obs(&self, obs: Arc<gae_obs::ObsHub>) {
+        self.manager.db().attach_obs(obs);
+    }
+
     /// Deterministic export of the whole repository: jobs id-sorted,
     /// tasks in insertion order (snapshot encoding + crash digests).
     pub fn db_snapshot(&self) -> Vec<JobMonitoringInfo> {

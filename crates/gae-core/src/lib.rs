@@ -57,6 +57,7 @@ pub mod estimator;
 pub mod grid;
 pub mod jobmon;
 pub mod monalisa;
+pub mod obs_rpc;
 pub mod persist;
 pub mod provider;
 pub mod quota;
@@ -69,6 +70,7 @@ pub use estimator::EstimatorService;
 pub use grid::{DriverMode, Grid, GridBuilder, ServiceStack};
 pub use jobmon::JobMonitoringService;
 pub use monalisa::MonAlisaRpc;
+pub use obs_rpc::{StatsRpc, TraceRpc};
 pub use provider::GridSiteInfo;
 pub use quota::QuotaService;
 pub use replica::{ReplicaCatalog, ReplicaRpc};

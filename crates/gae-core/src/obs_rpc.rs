@@ -1,0 +1,223 @@
+//! The observability RPC facades (DESIGN.md §10).
+//!
+//! Two thin services over the deployment's [`ObsHub`]:
+//!
+//! * `trace` — per-job causal trees and lifecycle timelines, keyed by
+//!   CondorId: `trace.get`, `trace.timeline`, `trace.render`;
+//! * `stats` — latency histogram snapshots: `stats.histogram`,
+//!   `stats.methods`, `stats.render`.
+
+use gae_obs::{HistogramSnapshot, ObsHub, TimelineEvent};
+use gae_rpc::{CallContext, MethodInfo, Service};
+use gae_types::{GaeError, GaeResult};
+use gae_wire::Value;
+use std::sync::Arc;
+
+/// The `trace` service: one job's causal tree, over the wire.
+pub struct TraceRpc {
+    hub: Arc<ObsHub>,
+}
+
+impl TraceRpc {
+    /// Wraps the hub for RPC registration.
+    pub fn new(hub: Arc<ObsHub>) -> Self {
+        TraceRpc { hub }
+    }
+}
+
+fn condor_param(params: &[Value]) -> GaeResult<u64> {
+    params
+        .first()
+        .ok_or_else(|| GaeError::Parse("missing CondorId parameter".into()))?
+        .as_u64()
+}
+
+fn micros(at: gae_types::SimTime) -> Value {
+    Value::Int64(at.as_micros() as i64)
+}
+
+impl Service for TraceRpc {
+    fn name(&self) -> &'static str {
+        "trace"
+    }
+
+    fn call(&self, _ctx: &CallContext, method: &str, params: &[Value]) -> GaeResult<Value> {
+        match method {
+            // The causal tree of one CondorId as a struct: the trace
+            // id (hex, as on the wire header) plus every span in
+            // span-id order.
+            "get" => {
+                let condor = condor_param(params)?;
+                let trace = self
+                    .hub
+                    .traces()
+                    .trace_for_condor(condor)
+                    .ok_or_else(|| GaeError::NotFound(format!("trace for condor {condor}")))?;
+                let spans = self
+                    .hub
+                    .traces()
+                    .spans(trace)
+                    .ok_or_else(|| GaeError::NotFound(format!("spans of trace {trace}")))?;
+                Ok(Value::struct_of([
+                    ("trace", Value::from(format!("{trace}"))),
+                    (
+                        "spans",
+                        Value::Array(
+                            spans
+                                .iter()
+                                .map(|s| {
+                                    Value::struct_of([
+                                        ("span", Value::Int64(s.span.raw() as i64)),
+                                        (
+                                            "parent",
+                                            s.parent
+                                                .map(|p| Value::Int64(p.raw() as i64))
+                                                .unwrap_or(Value::Nil),
+                                        ),
+                                        ("name", Value::from(s.name.as_str())),
+                                        ("start_us", micros(s.start)),
+                                        ("end_us", micros(s.end)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]))
+            }
+            // The lifecycle timeline of one CondorId: recorded events
+            // mapped to their µs instants, unrecorded events absent.
+            "timeline" => {
+                let condor = condor_param(params)?;
+                let tl = self
+                    .hub
+                    .timeline(condor)
+                    .ok_or_else(|| GaeError::NotFound(format!("timeline for condor {condor}")))?;
+                Ok(Value::struct_of(TimelineEvent::ALL.iter().filter_map(
+                    |ev| {
+                        tl.instant(*ev)
+                            .map(|at| (format!("{}_us", ev.name()), micros(at)))
+                    },
+                )))
+            }
+            // The human-readable dump bench bins print.
+            "render" => {
+                let condor = condor_param(params)?;
+                self.hub
+                    .render_condor(condor)
+                    .map(Value::from)
+                    .ok_or_else(|| GaeError::NotFound(format!("trace for condor {condor}")))
+            }
+            other => Err(gae_rpc::service::unknown_method("trace", other)),
+        }
+    }
+
+    fn methods(&self) -> Vec<MethodInfo> {
+        vec![
+            MethodInfo {
+                name: "get",
+                help: "causal tree of a CondorId: trace id + spans",
+            },
+            MethodInfo {
+                name: "timeline",
+                help: "lifecycle instants of a CondorId (µs)",
+            },
+            MethodInfo {
+                name: "render",
+                help: "human-readable trace + timeline dump",
+            },
+        ]
+    }
+}
+
+/// The `stats` service: latency distributions, over the wire.
+pub struct StatsRpc {
+    hub: Arc<ObsHub>,
+}
+
+impl StatsRpc {
+    /// Wraps the hub for RPC registration.
+    pub fn new(hub: Arc<ObsHub>) -> Self {
+        StatsRpc { hub }
+    }
+
+    /// RPC-method histograms answer plain names; gate-disposition
+    /// histograms answer under a `gate:` prefix.
+    fn lookup(&self, name: &str) -> Option<HistogramSnapshot> {
+        if let Some(disposition) = name.strip_prefix("gate:") {
+            return self
+                .hub
+                .gate_snapshot()
+                .into_iter()
+                .find(|(k, _)| k == disposition)
+                .map(|(_, s)| s);
+        }
+        self.hub
+            .rpc_snapshot()
+            .into_iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, s)| s)
+    }
+}
+
+fn snapshot_value(s: HistogramSnapshot) -> Value {
+    Value::struct_of([
+        ("count", Value::Int64(s.count as i64)),
+        ("p50_us", Value::Int64(s.p50_us as i64)),
+        ("p95_us", Value::Int64(s.p95_us as i64)),
+        ("p99_us", Value::Int64(s.p99_us as i64)),
+        ("max_us", Value::Int64(s.max_us as i64)),
+        ("mean_us", Value::Double(s.mean_us())),
+    ])
+}
+
+impl Service for StatsRpc {
+    fn name(&self) -> &'static str {
+        "stats"
+    }
+
+    fn call(&self, _ctx: &CallContext, method: &str, params: &[Value]) -> GaeResult<Value> {
+        match method {
+            "histogram" => {
+                let name = params
+                    .first()
+                    .ok_or_else(|| GaeError::Parse("missing histogram name".into()))?
+                    .as_str()?;
+                self.lookup(name)
+                    .map(snapshot_value)
+                    .ok_or_else(|| GaeError::NotFound(format!("histogram {name}")))
+            }
+            "methods" => Ok(Value::Array(
+                self.hub
+                    .rpc_snapshot()
+                    .into_iter()
+                    .map(|(k, _)| Value::from(k))
+                    .chain(
+                        self.hub
+                            .gate_snapshot()
+                            .into_iter()
+                            .map(|(k, _)| Value::from(format!("gate:{k}"))),
+                    )
+                    .collect(),
+            )),
+            "render" => Ok(Value::from(self.hub.render_histograms())),
+            other => Err(gae_rpc::service::unknown_method("stats", other)),
+        }
+    }
+
+    fn methods(&self) -> Vec<MethodInfo> {
+        vec![
+            MethodInfo {
+                name: "histogram",
+                help: "latency snapshot of one method (or gate:<disposition>)",
+            },
+            MethodInfo {
+                name: "methods",
+                help: "every histogram name with samples",
+            },
+            MethodInfo {
+                name: "render",
+                help: "human-readable latency table",
+            },
+        ]
+    }
+}

@@ -165,6 +165,9 @@ pub struct SteeringService {
     /// (execution sites and the scheduler). Installed by the
     /// composition root; absent in bare unit-test wirings.
     gate: RwLock<Option<Arc<gae_gate::Gate>>>,
+    /// The observability hub spans and lifecycle marks go to.
+    /// Installed by the composition root; absent in bare wirings.
+    obs: RwLock<Option<Arc<gae_obs::ObsHub>>>,
 }
 
 impl SteeringService {
@@ -192,12 +195,20 @@ impl SteeringService {
             execution_states: Mutex::new(HashMap::new()),
             persist: RwLock::new(None),
             gate: RwLock::new(None),
+            obs: RwLock::new(None),
         }
     }
 
     /// Installs the gate whose breaker bank guards downstream calls.
     pub(crate) fn attach_gate(&self, gate: Arc<gae_gate::Gate>) {
         *self.gate.write() = Some(gate);
+    }
+
+    /// Installs the observability hub: every submission from here on
+    /// roots (or extends) the task's CondorId-derived trace and marks
+    /// its lifecycle timeline.
+    pub(crate) fn attach_obs(&self, obs: Arc<gae_obs::ObsHub>) {
+        *self.obs.write() = Some(obs);
     }
 
     /// The breaker key for an execution site.
@@ -435,10 +446,16 @@ impl SteeringService {
         // the typed Overloaded error routes recovery elsewhere.
         let gate = self.gate.read().clone();
         if let Some(gate) = &gate {
-            gate.breaker_check(
+            match gate.breaker_check(
                 &Self::exec_breaker_key(site),
                 gae_gate::GateClass::Production,
-            )?;
+            ) {
+                Ok(()) => gate.observe_disposition("admit", SimDuration::ZERO),
+                Err(e) => {
+                    gate.observe_disposition("breaker_denied", SimDuration::ZERO);
+                    return Err(e);
+                }
+            }
         }
         let submitted = self.grid.submit(site, spec, checkpoint);
         if let Some(gate) = &gate {
@@ -446,6 +463,22 @@ impl SteeringService {
         }
         let condor = submitted?;
         self.estimators.record_submission(site, condor, estimate);
+        // Root the task's causal tree on its CondorId (both driver
+        // modes derive the same trace id) and mark the lifecycle
+        // instants decided at this point. Scheduling, admission and
+        // hand-off all resolve within this one virtual instant.
+        if let Some(hub) = self.obs.read().clone() {
+            let now = self.grid.now();
+            let root = hub.condor_trace(condor.raw(), &format!("task {job_id}/{task}"), now);
+            hub.span_at(root, &format!("sched.place site-{}", site.raw()), now);
+            if gate.is_some() {
+                hub.span_at(root, "gate.admit", now);
+            }
+            hub.span_at(root, &format!("steer.submit site-{}", site.raw()), now);
+            hub.mark_at(condor.raw(), gae_obs::TimelineEvent::Schedule, now);
+            hub.mark_at(condor.raw(), gae_obs::TimelineEvent::Admit, now);
+            hub.mark_at(condor.raw(), gae_obs::TimelineEvent::Submit, now);
+        }
         if let Some(tracked) = self.jobs.write().get_mut(&job_id) {
             if let Some(t) = tracked.tasks.get_mut(&task) {
                 t.phase = TaskPhase::Submitted { site, condor };
@@ -475,6 +508,7 @@ impl SteeringService {
                 if let Some(tracked) = self.jobs.write().get_mut(&job_id) {
                     tracked.tasks.get_mut(&task).expect("indexed task").phase = TaskPhase::Killed;
                 }
+                self.estimators.evict_submission(site, condor);
                 self.log_task(job_id, task);
                 Ok(())
             }
@@ -590,6 +624,8 @@ impl SteeringService {
         }
         // Pull the task (with checkpoint if supported) and resubmit.
         let (spec, checkpoint) = self.grid.exec(from)?.lock().remove_for_migration(condor)?;
+        // The old CondorId left the source queue with the migration.
+        self.estimators.evict_submission(from, condor);
         self.submit_task_to(job_id, task, to, spec, checkpoint)?;
         let at = self.grid.now();
         {
@@ -664,6 +700,7 @@ impl SteeringService {
                     if let Some(tracked) = self.jobs.write().get_mut(&job_id) {
                         tracked.tasks.get_mut(&task).expect("indexed").phase = TaskPhase::Killed;
                     }
+                    self.estimators.evict_submission(site, info.condor);
                     self.log_task(job_id, task);
                 }
                 TaskStatus::Running => self.maybe_optimize(job_id, task, site, &info),
@@ -703,6 +740,15 @@ impl SteeringService {
             });
         }
         self.collect_execution_state(task, site, info);
+        // Backup & Recovery collected the state: the submission-time
+        // estimate for this CondorId can never be consulted again.
+        self.estimators.evict_submission(site, info.condor);
+        // Close the task's causal tree with the collection step.
+        if let Some(hub) = self.obs.read().clone() {
+            let now = self.grid.now();
+            let root = hub.condor_trace(info.condor.raw(), &format!("task {job_id}/{task}"), now);
+            hub.span_at(root, "steer.collect", now);
+        }
         // Completion may unblock successors.
         let _ = self.submit_ready(job_id);
     }
@@ -781,6 +827,15 @@ impl SteeringService {
                 return;
             };
             if let Some(t) = tracked.tasks.get_mut(&task) {
+                // The previous CondorId died with the flock; drop its
+                // estimate so the §6.2 database tracks live ids only.
+                if let TaskPhase::Submitted {
+                    site: old_site,
+                    condor: old_condor,
+                } = t.phase
+                {
+                    self.estimators.evict_submission(old_site, old_condor);
+                }
                 t.phase = TaskPhase::Submitted { site: to, condor };
                 t.moves += 1;
             }
@@ -807,6 +862,7 @@ impl SteeringService {
         // local files that were produced by the failed job" (§4.2.4).
         if let Ok(info) = self.jobmon.job_info(task) {
             self.collect_execution_state(task, failed_site, &info);
+            self.estimators.evict_submission(failed_site, info.condor);
         }
         self.notifications.lock().push(Notification::TaskFailed {
             task,

@@ -21,6 +21,12 @@ use std::sync::Arc;
 /// one derived from the Quota & Accounting Service.
 pub type ClassResolver = Box<dyn Fn(&Principal) -> GateClass + Send + Sync>;
 
+/// Sink for per-disposition admission latency samples (`run`, `shed`,
+/// `expired`, `refused`, `rate_limited`...). The wiring layer installs
+/// one that feeds the observability hub's histograms; the gate itself
+/// stays free of any dependency on the obs crate.
+pub type DispositionObserver = Box<dyn Fn(&str, gae_types::SimDuration) + Send + Sync>;
+
 /// Full gate policy.
 #[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub struct GateConfig {
@@ -50,6 +56,7 @@ pub struct Gate {
     breakers: BreakerBank,
     metrics: Arc<GateMetrics>,
     class_resolver: RwLock<Option<ClassResolver>>,
+    disposition_observer: RwLock<Option<DispositionObserver>>,
 }
 
 impl Gate {
@@ -62,6 +69,7 @@ impl Gate {
             metrics: Arc::new(GateMetrics::new()),
             clock,
             class_resolver: RwLock::new(None),
+            disposition_observer: RwLock::new(None),
         })
     }
 
@@ -87,6 +95,24 @@ impl Gate {
         F: Fn(&Principal) -> GateClass + Send + Sync + 'static,
     {
         *self.class_resolver.write() = Some(Box::new(resolver));
+    }
+
+    /// Installs the disposition latency sink (wiring: obs hub's
+    /// per-disposition histograms).
+    pub fn set_disposition_observer<F>(&self, observer: F)
+    where
+        F: Fn(&str, gae_types::SimDuration) + Send + Sync + 'static,
+    {
+        *self.disposition_observer.write() = Some(Box::new(observer));
+    }
+
+    /// Reports one admission outcome — the time a request spent in
+    /// the gate before `disposition` was decided. No-op until an
+    /// observer is installed.
+    pub fn observe_disposition(&self, disposition: &str, latency: gae_types::SimDuration) {
+        if let Some(observe) = &*self.disposition_observer.read() {
+            observe(disposition, latency);
+        }
     }
 
     /// The priority class of `principal` under the installed resolver

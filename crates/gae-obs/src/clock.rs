@@ -1,0 +1,107 @@
+//! Injected time source for every observability measurement.
+//!
+//! Mirrors gae-gate's `GateClock` split: production RPC servers run
+//! on wall time, the grid composition root injects the simulation's
+//! virtual clock, and tests drive a manual clock — so recorded spans
+//! and histogram samples are deterministic wherever the underlying
+//! timeline is.
+
+use gae_types::SimTime;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The time source every [`crate::ObsHub`] measurement reads.
+pub trait ObsClock: Send + Sync {
+    /// The current instant on the observed timeline.
+    fn now(&self) -> SimTime;
+}
+
+/// A hand-driven clock for tests: starts at zero, only moves when
+/// told to, never regresses.
+#[derive(Debug, Default)]
+pub struct ManualObsClock {
+    micros: AtomicU64,
+}
+
+impl ManualObsClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `us` microseconds.
+    pub fn advance_micros(&self, us: u64) {
+        self.micros.fetch_add(us, Ordering::SeqCst);
+    }
+
+    /// Jumps the clock to an absolute instant (panics on regression).
+    pub fn set(&self, at: SimTime) {
+        let prev = self.micros.swap(at.as_micros(), Ordering::SeqCst);
+        assert!(prev <= at.as_micros(), "ManualObsClock moved backwards");
+    }
+}
+
+impl ObsClock for ManualObsClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.micros.load(Ordering::SeqCst))
+    }
+}
+
+/// Wall time, expressed as microseconds since the clock was created.
+/// The default for standalone RPC servers (no virtual timeline).
+#[derive(Debug)]
+pub struct WallObsClock {
+    origin: Instant,
+}
+
+impl WallObsClock {
+    /// A wall clock whose zero is now.
+    pub fn new() -> Self {
+        WallObsClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallObsClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObsClock for WallObsClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.origin.elapsed().as_micros() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_advances() {
+        let c = ManualObsClock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance_micros(5);
+        assert_eq!(c.now().as_micros(), 5);
+        c.set(SimTime::from_micros(9));
+        assert_eq!(c.now().as_micros(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn manual_clock_refuses_regression() {
+        let c = ManualObsClock::new();
+        c.advance_micros(10);
+        c.set(SimTime::from_micros(3));
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallObsClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,276 @@
+//! Log-linear latency histograms (HDR-style).
+//!
+//! Lock-free on the hot path, on the pattern of gae-gate's
+//! `ClassCounters`: recording a sample is one relaxed `fetch_add`
+//! into a bucket array plus three bookkeeping atomics. The bucket
+//! layout is log-linear over microseconds: 16 linear sub-buckets per
+//! power-of-two octave, exact below 16 µs, ≤ 6.25 % relative error
+//! above, covering the full `u64` range in 976 buckets (~8 KiB).
+
+use gae_types::SimDuration;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the sub-bucket count per octave.
+const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per octave.
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count: the linear region (16) plus 60 octaves of 16.
+const BUCKETS: usize = ((64 - SUB_BITS as usize) * SUB as usize) + SUB as usize;
+
+/// Bucket index of a microsecond value.
+fn bucket_index(us: u64) -> usize {
+    if us < SUB {
+        return us as usize;
+    }
+    let msb = 63 - us.leading_zeros();
+    let group = (msb - SUB_BITS + 1) as u64;
+    let offset = (us >> (msb - SUB_BITS)) - SUB;
+    (group * SUB + offset) as usize
+}
+
+/// Lower bound (µs) of the bucket at `idx` — the value quantile
+/// snapshots report, so reported percentiles never exceed the true
+/// sample.
+fn bucket_floor(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB {
+        return idx;
+    }
+    let group = idx / SUB;
+    let offset = idx % SUB;
+    (SUB + offset) << (group - 1)
+}
+
+/// One latency distribution: lock-free bucket counters plus count,
+/// sum, and max.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Relaxed ordering end to end — these are
+    /// monotonic counters, exactness of interleaving does not matter,
+    /// and the hot path must stay a handful of uncontended atomics.
+    pub fn record(&self, latency: SimDuration) {
+        let us = latency.as_micros();
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time summary with nearest-rank percentiles.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        let quantile = |q: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut seen = 0u64;
+            for (idx, c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_floor(idx);
+                }
+            }
+            bucket_floor(BUCKETS - 1)
+        };
+        HistogramSnapshot {
+            count: total,
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+            p50_us: quantile(0.50),
+            p95_us: quantile(0.95),
+            p99_us: quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time histogram summary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (µs).
+    pub sum_us: u64,
+    /// Largest sample (µs).
+    pub max_us: u64,
+    /// Median (µs, nearest-rank, bucket lower bound).
+    pub p50_us: u64,
+    /// 95th percentile (µs).
+    pub p95_us: u64,
+    /// 99th percentile (µs).
+    pub p99_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample (µs), zero when empty.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+}
+
+/// A keyed family of histograms (per RPC method, per gate
+/// disposition). Key lookup takes a read lock; the miss path that
+/// materialises a new histogram is once per key.
+#[derive(Default)]
+pub struct HistogramSet {
+    hists: parking_lot::RwLock<std::collections::BTreeMap<String, std::sync::Arc<Histogram>>>,
+}
+
+impl HistogramSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample under `key`.
+    pub fn record(&self, key: &str, latency: SimDuration) {
+        if let Some(h) = self.hists.read().get(key) {
+            h.record(latency);
+            return;
+        }
+        let h = self
+            .hists
+            .write()
+            .entry(key.to_string())
+            .or_default()
+            .clone();
+        h.record(latency);
+    }
+
+    /// The histogram for `key`, if any samples were recorded.
+    pub fn get(&self, key: &str) -> Option<std::sync::Arc<Histogram>> {
+        self.hists.read().get(key).cloned()
+    }
+
+    /// Every key's snapshot, key-sorted (deterministic publication
+    /// order).
+    pub fn snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.hists
+            .read()
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_region_is_exact() {
+        for us in 0..16u64 {
+            assert_eq!(bucket_index(us) as u64, us);
+            assert_eq!(bucket_floor(us as usize), us);
+        }
+    }
+
+    #[test]
+    fn buckets_are_monotonic_and_in_range() {
+        let mut values: Vec<u64> = (0..64u32)
+            .flat_map(|exp| {
+                let base = 1u64 << exp;
+                [base, base | (base >> 1), base | (base - 1)]
+            })
+            .collect();
+        values.sort_unstable();
+        let mut last = 0usize;
+        for v in values {
+            let idx = bucket_index(v);
+            assert!(idx < BUCKETS, "{v} -> {idx}");
+            assert!(idx >= last, "index regressed at {v}: {idx} < {last}");
+            assert!(
+                bucket_floor(idx) <= v,
+                "floor({idx})={} > {v}",
+                bucket_floor(idx)
+            );
+            last = idx;
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [100u64, 1_000, 123_456, 10_000_000, 1 << 40] {
+            let floor = bucket_floor(bucket_index(v));
+            let err = (v - floor) as f64 / v as f64;
+            assert!(err <= 0.0625 + 1e-9, "value {v}: floor {floor}, err {err}");
+        }
+    }
+
+    #[test]
+    fn percentiles_track_a_known_distribution() {
+        let h = Histogram::new();
+        // 100 samples: 1..=100 ms.
+        for ms in 1..=100u64 {
+            h.record(SimDuration::from_millis(ms));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max_us, 100_000);
+        // Bucket floors undershoot by at most 6.25 %.
+        assert!(s.p50_us <= 50_000 && s.p50_us >= 46_000, "p50 {}", s.p50_us);
+        assert!(s.p95_us <= 95_000 && s.p95_us >= 88_000, "p95 {}", s.p95_us);
+        assert!(s.p99_us <= 99_000 && s.p99_us >= 92_000, "p99 {}", s.p99_us);
+        assert!((s.mean_us() - 50_500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(
+            (s.count, s.p50_us, s.p95_us, s.p99_us, s.max_us),
+            (0, 0, 0, 0, 0)
+        );
+        assert_eq!(s.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn set_snapshots_sorted_by_key() {
+        let set = HistogramSet::new();
+        set.record("steer.submit", SimDuration::from_micros(5));
+        set.record("auth.login", SimDuration::from_micros(2));
+        set.record("steer.submit", SimDuration::from_micros(9));
+        let snap = set.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, "auth.login");
+        assert_eq!(snap[1].0, "steer.submit");
+        assert_eq!(snap[1].1.count, 2);
+    }
+}

@@ -1,0 +1,209 @@
+//! The [`ObsHub`]: one shared handle bundling the trace store, the
+//! latency histograms, and the lifecycle timelines around a single
+//! injected clock. The composition root builds one per deployment
+//! and hands clones to the RPC host, the gate wiring, steering, and
+//! jobmon.
+
+use crate::clock::ObsClock;
+use crate::hist::{HistogramSet, HistogramSnapshot};
+use crate::timeline::{Timeline, TimelineEvent, TimelineStore};
+use crate::trace::{SpanId, TraceContext, TraceId, TraceStore};
+use gae_types::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The deployment-wide observability hub.
+pub struct ObsHub {
+    clock: Arc<dyn ObsClock>,
+    traces: TraceStore,
+    rpc: HistogramSet,
+    gate: HistogramSet,
+    timelines: TimelineStore,
+    next_trace: AtomicU64,
+}
+
+impl ObsHub {
+    /// A hub measuring on `clock`'s timeline.
+    pub fn new(clock: Arc<dyn ObsClock>) -> Arc<ObsHub> {
+        Arc::new(ObsHub {
+            clock,
+            traces: TraceStore::new(),
+            rpc: HistogramSet::new(),
+            gate: HistogramSet::new(),
+            timelines: TimelineStore::new(),
+            next_trace: AtomicU64::new(1),
+        })
+    }
+
+    /// The current instant on the hub's clock.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    // ---- traces ----
+
+    /// Mints a fresh door trace (sequential ids, deterministic given
+    /// a deterministic call order) rooted at `name`.
+    pub fn mint_trace(&self, name: &str) -> TraceContext {
+        let id = TraceId::new(self.next_trace.fetch_add(1, Ordering::Relaxed));
+        self.traces.root(id, name, self.now())
+    }
+
+    /// The deterministic trace of a task submission, rooted on first
+    /// use (both driver modes derive the same id from the CondorId).
+    pub fn condor_trace(&self, condor_raw: u64, name: &str, at: SimTime) -> TraceContext {
+        let ctx = self.traces.root(TraceId::for_condor(condor_raw), name, at);
+        self.traces.bind_condor(condor_raw, ctx.trace);
+        ctx
+    }
+
+    /// Appends a child span under `ctx`.
+    pub fn span(&self, ctx: TraceContext, name: &str, start: SimTime, end: SimTime) -> SpanId {
+        self.traces.child(ctx, name, start, end)
+    }
+
+    /// Appends a zero-width child span at `at`.
+    pub fn span_at(&self, ctx: TraceContext, name: &str, at: SimTime) -> SpanId {
+        self.traces.child(ctx, name, at, at)
+    }
+
+    /// The span store (RPC facades and tests read through this).
+    pub fn traces(&self) -> &TraceStore {
+        &self.traces
+    }
+
+    // ---- histograms ----
+
+    /// Records one RPC's server-side latency under its full method
+    /// name (`service.method`).
+    pub fn record_rpc(&self, method: &str, latency: SimDuration) {
+        self.rpc.record(method, latency);
+    }
+
+    /// Records the queue latency of one gate disposition (`run`,
+    /// `shed`, `expired`, ...).
+    pub fn record_gate(&self, disposition: &str, latency: SimDuration) {
+        self.gate.record(disposition, latency);
+    }
+
+    /// Per-method latency snapshots, method-sorted.
+    pub fn rpc_snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.rpc.snapshot()
+    }
+
+    /// Per-disposition latency snapshots, disposition-sorted.
+    pub fn gate_snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.gate.snapshot()
+    }
+
+    // ---- timelines ----
+
+    /// Marks a lifecycle instant for a CondorId at an explicit time
+    /// (first write per event wins, so WAL replay cannot shift it).
+    pub fn mark_at(&self, condor_raw: u64, event: TimelineEvent, at: SimTime) {
+        self.timelines.mark(condor_raw, event, at);
+    }
+
+    /// Marks a lifecycle instant at the hub clock's now.
+    pub fn mark(&self, condor_raw: u64, event: TimelineEvent) {
+        self.mark_at(condor_raw, event, self.now());
+    }
+
+    /// The timeline of one CondorId.
+    pub fn timeline(&self, condor_raw: u64) -> Option<Timeline> {
+        self.timelines.get(condor_raw)
+    }
+
+    /// The timeline store (renders, exports).
+    pub fn timelines(&self) -> &TimelineStore {
+        &self.timelines
+    }
+
+    // ---- text dumps ----
+
+    /// Human-readable dump of one CondorId: its trace tree and
+    /// lifecycle timeline.
+    pub fn render_condor(&self, condor_raw: u64) -> Option<String> {
+        let trace = self.traces.trace_for_condor(condor_raw)?;
+        let mut out = self.traces.render(trace)?;
+        if let Some(tl) = self.timelines.render(condor_raw) {
+            out.push_str(&tl);
+        }
+        Some(out)
+    }
+
+    /// Human-readable per-method latency table (bench bins print
+    /// this).
+    pub fn render_histograms(&self) -> String {
+        let mut out =
+            String::from("method                     count    p50us    p95us    p99us    maxus\n");
+        for (name, s) in self.rpc_snapshot() {
+            out.push_str(&format!(
+                "{name:<24} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
+                s.count, s.p50_us, s.p95_us, s.p99_us, s.max_us
+            ));
+        }
+        for (name, s) in self.gate_snapshot() {
+            out.push_str(&format!(
+                "gate:{name:<19} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
+                s.count, s.p50_us, s.p95_us, s.p99_us, s.max_us
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualObsClock;
+
+    fn hub() -> (Arc<ObsHub>, Arc<ManualObsClock>) {
+        let clock = Arc::new(ManualObsClock::new());
+        (ObsHub::new(clock.clone()), clock)
+    }
+
+    #[test]
+    fn minted_traces_are_sequential() {
+        let (hub, _) = hub();
+        let a = hub.mint_trace("rpc");
+        let b = hub.mint_trace("rpc");
+        assert_eq!(a.trace.raw(), 1);
+        assert_eq!(b.trace.raw(), 2);
+    }
+
+    #[test]
+    fn condor_trace_is_stable_and_indexed() {
+        let (hub, clock) = hub();
+        clock.advance_micros(100);
+        let a = hub.condor_trace(7, "task", hub.now());
+        let b = hub.condor_trace(7, "task", hub.now());
+        assert_eq!(a, b);
+        assert!(hub.render_condor(7).is_some());
+        assert!(hub.render_condor(8).is_none());
+    }
+
+    #[test]
+    fn histogram_table_renders_both_families() {
+        let (hub, _) = hub();
+        hub.record_rpc("steer.submit", SimDuration::from_micros(40));
+        hub.record_gate("run", SimDuration::from_micros(3));
+        let table = hub.render_histograms();
+        assert!(table.contains("steer.submit"), "{table}");
+        assert!(table.contains("gate:run"), "{table}");
+    }
+
+    #[test]
+    fn timeline_marks_use_clock() {
+        let (hub, clock) = hub();
+        hub.mark(5, TimelineEvent::Submit);
+        clock.advance_micros(250);
+        hub.mark(5, TimelineEvent::Complete);
+        let tl = hub.timeline(5).unwrap();
+        assert_eq!(tl.instant(TimelineEvent::Submit), Some(SimTime::ZERO));
+        assert_eq!(
+            tl.instant(TimelineEvent::Complete),
+            Some(SimTime::from_micros(250))
+        );
+    }
+}

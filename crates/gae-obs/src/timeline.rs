@@ -1,0 +1,164 @@
+//! Per-CondorId job lifecycle timelines.
+//!
+//! The DBManager (jobmon) assembles these from the instants it
+//! already tracks: submit → admit → schedule → start → complete. A
+//! timeline answers the steering question MonALISA aggregates cannot:
+//! *where did this one job's latency go?*
+
+use gae_types::SimTime;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A lifecycle instant of one task submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TimelineEvent {
+    /// Handed to an execution service.
+    Submit,
+    /// Passed the admission gate / breaker check.
+    Admit,
+    /// A site was chosen for it.
+    Schedule,
+    /// Began running.
+    Start,
+    /// Reached a terminal state.
+    Complete,
+}
+
+impl TimelineEvent {
+    /// Every event in lifecycle order.
+    pub const ALL: [TimelineEvent; 5] = [
+        TimelineEvent::Submit,
+        TimelineEvent::Admit,
+        TimelineEvent::Schedule,
+        TimelineEvent::Start,
+        TimelineEvent::Complete,
+    ];
+
+    /// Stable lowercase name (metric params, text dumps).
+    pub fn name(self) -> &'static str {
+        match self {
+            TimelineEvent::Submit => "submit",
+            TimelineEvent::Admit => "admit",
+            TimelineEvent::Schedule => "schedule",
+            TimelineEvent::Start => "start",
+            TimelineEvent::Complete => "complete",
+        }
+    }
+}
+
+impl fmt::Display for TimelineEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The recorded lifecycle instants of one CondorId. First write wins
+/// per event: replayed stores must not shift an instant.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Timeline {
+    instants: BTreeMap<TimelineEvent, SimTime>,
+}
+
+impl Timeline {
+    /// The instant of `event`, if recorded.
+    pub fn instant(&self, event: TimelineEvent) -> Option<SimTime> {
+        self.instants.get(&event).copied()
+    }
+
+    /// Records `event` at `at` unless already recorded.
+    fn mark(&mut self, event: TimelineEvent, at: SimTime) {
+        self.instants.entry(event).or_insert(at);
+    }
+
+    /// Number of recorded instants.
+    pub fn len(&self) -> usize {
+        self.instants.len()
+    }
+
+    /// True when nothing is recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.instants.is_empty()
+    }
+}
+
+/// Timelines of every observed CondorId, keyed by raw id (BTreeMap so
+/// exports are id-sorted and deterministic).
+#[derive(Default)]
+pub struct TimelineStore {
+    timelines: RwLock<BTreeMap<u64, Timeline>>,
+}
+
+impl TimelineStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `event` for `condor_raw` at `at` (first write wins).
+    pub fn mark(&self, condor_raw: u64, event: TimelineEvent, at: SimTime) {
+        self.timelines
+            .write()
+            .entry(condor_raw)
+            .or_default()
+            .mark(event, at);
+    }
+
+    /// The timeline of one CondorId, if observed.
+    pub fn get(&self, condor_raw: u64) -> Option<Timeline> {
+        self.timelines.read().get(&condor_raw).cloned()
+    }
+
+    /// Number of observed CondorIds.
+    pub fn len(&self) -> usize {
+        self.timelines.read().len()
+    }
+
+    /// True when no CondorId was observed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Human-readable dump of one timeline: events in lifecycle
+    /// order, µs instants, `-` for unrecorded events.
+    pub fn render(&self, condor_raw: u64) -> Option<String> {
+        let tl = self.get(condor_raw)?;
+        let mut out = format!("condor {condor_raw}\n");
+        for ev in TimelineEvent::ALL {
+            match tl.instant(ev) {
+                Some(at) => out.push_str(&format!("  {:<9} {}us\n", ev.name(), at.as_micros())),
+                None => out.push_str(&format!("  {:<9} -\n", ev.name())),
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_write_wins() {
+        let store = TimelineStore::new();
+        store.mark(7, TimelineEvent::Submit, SimTime::from_secs(1));
+        store.mark(7, TimelineEvent::Submit, SimTime::from_secs(9));
+        assert_eq!(
+            store.get(7).unwrap().instant(TimelineEvent::Submit),
+            Some(SimTime::from_secs(1))
+        );
+    }
+
+    #[test]
+    fn render_lists_all_events_in_order() {
+        let store = TimelineStore::new();
+        store.mark(3, TimelineEvent::Submit, SimTime::ZERO);
+        store.mark(3, TimelineEvent::Complete, SimTime::from_secs(5));
+        let text = store.render(3).unwrap();
+        let submit = text.find("submit").unwrap();
+        let complete = text.find("complete").unwrap();
+        assert!(submit < complete, "{text}");
+        assert!(text.contains("start     -"), "{text}");
+        assert!(store.render(99).is_none());
+    }
+}

@@ -1,0 +1,318 @@
+//! Request-scoped trace contexts and the span store.
+//!
+//! A trace is one causal tree: a root span minted where a request
+//! enters the system (the RPC door, or a task submission inside the
+//! steering loop) plus child spans appended as the request crosses
+//! services. Identifiers carry no wall-clock or random component —
+//! door-minted traces count up from 1, job traces derive from the
+//! CondorId — so the same workload yields byte-identical trees in
+//! both driver modes.
+
+use gae_types::SimTime;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies one causal tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(u64);
+
+/// High bit marks CondorId-derived trace ids, keeping them disjoint
+/// from the door's counter-minted ids.
+const CONDOR_BIT: u64 = 1 << 63;
+
+impl TraceId {
+    /// Wraps a raw id (door-minted counters start at 1).
+    pub const fn new(raw: u64) -> Self {
+        TraceId(raw)
+    }
+
+    /// The deterministic trace id of a submitted task, derived from
+    /// its CondorId so both driver modes agree without coordination.
+    pub const fn for_condor(condor_raw: u64) -> Self {
+        TraceId(condor_raw | CONDOR_BIT)
+    }
+
+    /// The raw id.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:x}", self.0)
+    }
+}
+
+/// Identifies one span within its trace; ids are assigned
+/// sequentially from 1, the root is always span 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The root span of every trace.
+    pub const ROOT: SpanId = SpanId(1);
+
+    /// Wraps a raw id.
+    pub const fn new(raw: u64) -> Self {
+        SpanId(raw)
+    }
+
+    /// The raw id.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The pair a request carries across the wire: which tree it belongs
+/// to and which span is its immediate parent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The causal tree.
+    pub trace: TraceId,
+    /// The span new work should attach under.
+    pub span: SpanId,
+}
+
+impl TraceContext {
+    /// Wire encoding, carried in the `X-GAE-Trace` header.
+    pub fn encode(&self) -> String {
+        format!("{:x}:{:x}", self.trace.0, self.span.0)
+    }
+
+    /// Parses the wire encoding; `None` on malformed input.
+    pub fn parse(s: &str) -> Option<TraceContext> {
+        let (t, sp) = s.trim().split_once(':')?;
+        Some(TraceContext {
+            trace: TraceId(u64::from_str_radix(t, 16).ok()?),
+            span: SpanId(u64::from_str_radix(sp, 16).ok()?),
+        })
+    }
+}
+
+/// One recorded span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The tree this span belongs to.
+    pub trace: TraceId,
+    /// This span's id.
+    pub span: SpanId,
+    /// Parent span (`None` for the root).
+    pub parent: Option<SpanId>,
+    /// What the span covers (e.g. `steer.submit`, `exec.run`).
+    pub name: String,
+    /// When the spanned work began.
+    pub start: SimTime,
+    /// When it ended.
+    pub end: SimTime,
+}
+
+/// The span repository: every recorded trace, plus the CondorId →
+/// trace index job-lifecycle lookups go through.
+#[derive(Default)]
+pub struct TraceStore {
+    traces: RwLock<HashMap<TraceId, Vec<SpanRecord>>>,
+    by_condor: RwLock<HashMap<u64, TraceId>>,
+}
+
+impl TraceStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures `trace` has a root span (creating one named `name`
+    /// starting at `at` if absent) and returns the context new child
+    /// spans should attach under.
+    pub fn root(&self, trace: TraceId, name: &str, at: SimTime) -> TraceContext {
+        let mut traces = self.traces.write();
+        traces.entry(trace).or_insert_with(|| {
+            vec![SpanRecord {
+                trace,
+                span: SpanId::ROOT,
+                parent: None,
+                name: name.to_string(),
+                start: at,
+                end: at,
+            }]
+        });
+        TraceContext {
+            trace,
+            span: SpanId::ROOT,
+        }
+    }
+
+    /// Appends a child span under `ctx` and stretches the root to
+    /// cover it; span ids are assigned in recording order. Recording
+    /// into a trace with no root creates one spanning the child.
+    pub fn child(&self, ctx: TraceContext, name: &str, start: SimTime, end: SimTime) -> SpanId {
+        let mut traces = self.traces.write();
+        let spans = traces.entry(ctx.trace).or_insert_with(|| {
+            vec![SpanRecord {
+                trace: ctx.trace,
+                span: SpanId::ROOT,
+                parent: None,
+                name: "trace".to_string(),
+                start,
+                end,
+            }]
+        });
+        let id = SpanId(spans.len() as u64 + 1);
+        spans.push(SpanRecord {
+            trace: ctx.trace,
+            span: id,
+            parent: Some(ctx.span),
+            name: name.to_string(),
+            start,
+            end,
+        });
+        let root = &mut spans[0];
+        root.end = root.end.max(end);
+        root.start = root.start.min(start);
+        id
+    }
+
+    /// Binds a CondorId to its trace for later lookup.
+    pub fn bind_condor(&self, condor_raw: u64, trace: TraceId) {
+        self.by_condor.write().insert(condor_raw, trace);
+    }
+
+    /// The trace a CondorId was bound to, if any.
+    pub fn trace_for_condor(&self, condor_raw: u64) -> Option<TraceId> {
+        self.by_condor.read().get(&condor_raw).copied()
+    }
+
+    /// Every span of a trace in span-id order; `None` for an unknown
+    /// trace.
+    pub fn spans(&self, trace: TraceId) -> Option<Vec<SpanRecord>> {
+        self.traces.read().get(&trace).cloned()
+    }
+
+    /// All recorded trace ids, sorted.
+    pub fn trace_ids(&self) -> Vec<TraceId> {
+        let mut ids: Vec<TraceId> = self.traces.read().keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Number of recorded traces.
+    pub fn len(&self) -> usize {
+        self.traces.read().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Human-readable tree dump, deterministic: children in span-id
+    /// order, instants in microseconds on the trace's own timeline.
+    pub fn render(&self, trace: TraceId) -> Option<String> {
+        let spans = self.spans(trace)?;
+        let mut out = format!("trace {} ({} spans)\n", trace, spans.len());
+        fn walk(out: &mut String, spans: &[SpanRecord], parent: SpanId, depth: usize) {
+            for s in spans.iter().filter(|s| s.parent == Some(parent)) {
+                out.push_str(&"  ".repeat(depth));
+                out.push_str(&format!(
+                    "- {} [{}us..{}us]\n",
+                    s.name,
+                    s.start.as_micros(),
+                    s.end.as_micros()
+                ));
+                walk(out, spans, s.span, depth + 1);
+            }
+        }
+        if let Some(root) = spans.iter().find(|s| s.parent.is_none()) {
+            out.push_str(&format!(
+                "- {} [{}us..{}us]\n",
+                root.name,
+                root.start.as_micros(),
+                root.end.as_micros()
+            ));
+            walk(&mut out, &spans, root.span, 1);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_wire_roundtrip() {
+        let ctx = TraceContext {
+            trace: TraceId::for_condor(42),
+            span: SpanId::new(7),
+        };
+        assert_eq!(TraceContext::parse(&ctx.encode()), Some(ctx));
+        assert_eq!(TraceContext::parse("junk"), None);
+        assert_eq!(TraceContext::parse("12:zz"), None);
+    }
+
+    #[test]
+    fn condor_ids_are_disjoint_from_counter_ids() {
+        assert_ne!(TraceId::for_condor(1), TraceId::new(1));
+        assert_eq!(TraceId::for_condor(5).raw() & !CONDOR_BIT, 5);
+    }
+
+    #[test]
+    fn root_is_created_once_and_stretched() {
+        let store = TraceStore::new();
+        let t = TraceId::new(1);
+        let ctx = store.root(t, "job", SimTime::from_micros(10));
+        assert_eq!(ctx.span, SpanId::ROOT);
+        // Re-rooting is a no-op.
+        store.root(t, "other", SimTime::from_micros(50));
+        store.child(
+            ctx,
+            "work",
+            SimTime::from_micros(20),
+            SimTime::from_micros(90),
+        );
+        let spans = store.spans(t).unwrap();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "job");
+        assert_eq!(spans[0].end, SimTime::from_micros(90), "root stretched");
+        assert_eq!(spans[1].parent, Some(SpanId::ROOT));
+    }
+
+    #[test]
+    fn condor_binding_resolves() {
+        let store = TraceStore::new();
+        let t = TraceId::for_condor(9);
+        store.root(t, "task", SimTime::ZERO);
+        store.bind_condor(9, t);
+        assert_eq!(store.trace_for_condor(9), Some(t));
+        assert_eq!(store.trace_for_condor(10), None);
+    }
+
+    #[test]
+    fn render_is_a_connected_tree() {
+        let store = TraceStore::new();
+        let t = TraceId::new(3);
+        let root = store.root(t, "task j1/t1", SimTime::ZERO);
+        let sched = store.child(root, "schedule", SimTime::ZERO, SimTime::ZERO);
+        store.child(
+            TraceContext {
+                trace: t,
+                span: sched,
+            },
+            "gate.admit",
+            SimTime::ZERO,
+            SimTime::ZERO,
+        );
+        let text = store.render(t).unwrap();
+        assert!(text.contains("trace 3 (3 spans)"), "{text}");
+        assert!(text.contains("- task j1/t1"), "{text}");
+        assert!(text.contains("  - schedule"), "{text}");
+        assert!(text.contains("    - gate.admit"), "{text}");
+    }
+}

@@ -29,6 +29,7 @@ pub struct ServiceHost {
     sessions: Arc<SessionManager>,
     acl: Arc<AccessControl>,
     web_handlers: RwLock<Vec<WebHandler>>,
+    obs: RwLock<Option<Arc<gae_obs::ObsHub>>>,
 }
 
 impl ServiceHost {
@@ -39,6 +40,7 @@ impl ServiceHost {
             sessions,
             acl,
             web_handlers: RwLock::new(Vec::new()),
+            obs: RwLock::new(None),
         });
         host.register(Arc::new(SystemService {
             host: Arc::downgrade(&host),
@@ -79,6 +81,19 @@ impl ServiceHost {
         &self.acl
     }
 
+    /// Installs the observability hub: from here on every dispatch is
+    /// timed into the hub's per-method histograms, and calls carrying
+    /// a trace context record an `rpc.<service.method>` span.
+    pub fn attach_obs(&self, hub: Arc<gae_obs::ObsHub>) {
+        *self.obs.write() = Some(hub);
+    }
+
+    /// The installed observability hub, if any (transports mint door
+    /// traces through this).
+    pub fn obs(&self) -> Option<Arc<gae_obs::ObsHub>> {
+        self.obs.read().clone()
+    }
+
     /// Names of all registered services.
     pub fn service_names(&self) -> Vec<&'static str> {
         self.services.read().keys().copied().collect()
@@ -97,14 +112,38 @@ impl ServiceHost {
                     session: Some(sid),
                     user: Some(user),
                     peer: peer.into(),
+                    trace: None,
                 })
             }
             None => Ok(CallContext::anonymous(peer)),
         }
     }
 
-    /// Routes one call. `full_method` is `"service.method"`.
+    /// Routes one call. `full_method` is `"service.method"`. When an
+    /// observability hub is attached the dispatch is timed on the
+    /// hub's clock into the per-method histogram, and a span is
+    /// recorded under the request's trace context when it carries
+    /// one.
     pub fn dispatch(
+        &self,
+        ctx: &CallContext,
+        full_method: &str,
+        params: &[Value],
+    ) -> GaeResult<Value> {
+        let Some(hub) = self.obs() else {
+            return self.dispatch_inner(ctx, full_method, params);
+        };
+        let start = hub.now();
+        let result = self.dispatch_inner(ctx, full_method, params);
+        let end = hub.now();
+        hub.record_rpc(full_method, end.saturating_since(start));
+        if let Some(trace) = ctx.trace {
+            hub.span(trace, &format!("rpc.{full_method}"), start, end);
+        }
+        result
+    }
+
+    fn dispatch_inner(
         &self,
         ctx: &CallContext,
         full_method: &str,

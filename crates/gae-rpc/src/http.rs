@@ -86,6 +86,14 @@ impl HttpRequest {
         }
     }
 
+    /// The raw trace context carried in `X-GAE-Trace`, if any. The
+    /// observability layer owns the encoding; transports just ferry
+    /// the header so one logical request stays one causal tree
+    /// across service hops.
+    pub fn trace(&self) -> Option<&str> {
+        self.header("X-GAE-Trace")
+    }
+
     /// Whether the connection should stay open after this request.
     pub fn keep_alive(&self) -> bool {
         match self.header("Connection") {

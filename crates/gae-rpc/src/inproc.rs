@@ -16,6 +16,7 @@ pub struct InProcClient {
     host: Arc<ServiceHost>,
     session: Option<SessionId>,
     user: Option<UserId>,
+    trace: Option<gae_obs::TraceContext>,
     codec: bool,
 }
 
@@ -26,6 +27,7 @@ impl InProcClient {
             host,
             session: None,
             user: None,
+            trace: None,
             codec: false,
         }
     }
@@ -37,8 +39,15 @@ impl InProcClient {
             host,
             session: None,
             user: None,
+            trace: None,
             codec: true,
         }
+    }
+
+    /// Attaches a trace context: subsequent calls join that trace
+    /// instead of minting door traces. `None` clears it.
+    pub fn set_trace(&mut self, trace: Option<gae_obs::TraceContext>) {
+        self.trace = trace;
     }
 
     /// Authenticates against the host's session manager.
@@ -63,14 +72,21 @@ impl InProcClient {
         self.user = None;
     }
 
-    fn context(&self) -> GaeResult<CallContext> {
-        self.host.resolve_session(self.session, "inproc")
+    /// This is the in-process RPC door: an attached trace is carried
+    /// through, otherwise a fresh one is minted per call when
+    /// observability is wired.
+    fn context(&self, method: &str) -> GaeResult<CallContext> {
+        let mut ctx = self.host.resolve_session(self.session, "inproc")?;
+        if let Some(hub) = self.host.obs() {
+            ctx.trace = self.trace.or_else(|| Some(hub.mint_trace(method)));
+        }
+        Ok(ctx)
     }
 }
 
 impl Rpc for InProcClient {
     fn call(&mut self, method: &str, params: Vec<Value>) -> GaeResult<Value> {
-        let ctx = self.context()?;
+        let ctx = self.context(method)?;
         if self.codec {
             let wire = write_call(&MethodCall::new(method, params));
             let call = parse_call(wire.as_bytes())?;

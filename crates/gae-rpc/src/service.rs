@@ -7,7 +7,10 @@ use gae_wire::Value;
 ///
 /// Carries the authenticated identity (if any) so services like the
 /// Steering Service can enforce that "the authorized users steer the
-/// jobs" (§4.2.5).
+/// jobs" (§4.2.5), plus the request's trace context: minted at the
+/// RPC door when the wire carried none, propagated from the
+/// `X-GAE-Trace` header otherwise, so one logical request stays a
+/// single causal tree across service hops.
 #[derive(Clone, Debug, Default)]
 pub struct CallContext {
     /// The authenticated session, if the caller logged in.
@@ -16,6 +19,9 @@ pub struct CallContext {
     pub user: Option<UserId>,
     /// Transport-level peer description ("10.0.0.7:4122", "inproc").
     pub peer: String,
+    /// The trace this request belongs to, when observability is
+    /// wired (see `ServiceHost::attach_obs`).
+    pub trace: Option<gae_obs::TraceContext>,
 }
 
 impl CallContext {
@@ -25,6 +31,7 @@ impl CallContext {
             session: None,
             user: None,
             peer: peer.into(),
+            trace: None,
         }
     }
 
@@ -35,7 +42,14 @@ impl CallContext {
             session: Some(session),
             user: Some(user),
             peer: "inproc".into(),
+            trace: None,
         }
+    }
+
+    /// The same context carrying `trace`.
+    pub fn with_trace(mut self, trace: gae_obs::TraceContext) -> Self {
+        self.trace = Some(trace);
+        self
     }
 
     /// The authenticated user or an `Unauthorized` error.

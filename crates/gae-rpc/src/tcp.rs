@@ -315,19 +315,38 @@ fn dispatch_gated(
         .and_then(|ctx| ctx.user)
         .map(|u| Principal::user(u, DEFAULT_VO))
         .unwrap_or_else(|| Principal::anonymous(DEFAULT_VO));
+    let arrived = gate.clock().now();
     let class = match gate.admit(&principal) {
         Ok(class) => class,
-        Err(e) => return Ok(fault_body(&e)),
+        Err(e) => {
+            gate.observe_disposition("rate_limited", gae_types::SimDuration::ZERO);
+            return Ok(fault_body(&e));
+        }
     };
     let (tx, rx) = crossbeam::channel::bounded::<Vec<u8>>(1);
     let host = host.clone();
     let peer = peer.to_string();
+    let gate_in_job = gate.clone();
     let submitted = pool.submit(
         class,
         Box::new(move |disposition| {
+            // The admission latency: arrival to disposition decision,
+            // on the gate's own clock.
+            let waited = gate_in_job.clock().now().saturating_since(arrived);
             let body = match disposition {
-                Disposition::Run => process_request(&host, &request, &peer),
+                Disposition::Run => {
+                    gate_in_job.observe_disposition("run", waited);
+                    process_request(&host, &request, &peer)
+                }
                 Disposition::Expired { retry_after } | Disposition::Shed { retry_after } => {
+                    gate_in_job.observe_disposition(
+                        if matches!(disposition, Disposition::Expired { .. }) {
+                            "expired"
+                        } else {
+                            "shed"
+                        },
+                        waited,
+                    );
                     fault_body(&GaeError::Overloaded {
                         retry_after_us: retry_after.as_micros().max(1),
                         shed_class: class.name().to_string(),
@@ -342,20 +361,31 @@ fn dispatch_gated(
         // displaced), so this recv always completes.
         Ok(()) => rx.recv().map_err(|_| ()),
         // Refused on arrival: queue full of equal-or-better work.
-        Err(retry_after) => Ok(fault_body(&GaeError::Overloaded {
-            retry_after_us: retry_after.as_micros().max(1),
-            shed_class: class.name().to_string(),
-        })),
+        Err(retry_after) => {
+            gate.observe_disposition("refused", gae_types::SimDuration::ZERO);
+            Ok(fault_body(&GaeError::Overloaded {
+                retry_after_us: retry_after.as_micros().max(1),
+                shed_class: class.name().to_string(),
+            }))
+        }
     }
 }
 
 /// Parses, authenticates, dispatches. Always yields a response body
-/// (faults for every failure mode).
+/// (faults for every failure mode). This is the RPC door: a request
+/// carrying `X-GAE-Trace` joins that trace; otherwise a fresh one is
+/// minted here when observability is wired.
 fn process_request(host: &ServiceHost, request: &HttpRequest, peer: &str) -> Vec<u8> {
     let response = (|| -> GaeResult<gae_wire::Response> {
         let session = request.session()?.map(SessionId::new);
-        let ctx = host.resolve_session(session, peer)?;
+        let mut ctx = host.resolve_session(session, peer)?;
         let call = parse_call(&request.body)?;
+        if let Some(hub) = host.obs() {
+            ctx.trace = request
+                .trace()
+                .and_then(gae_obs::TraceContext::parse)
+                .or_else(|| Some(hub.mint_trace(&call.name)));
+        }
         Ok(host.handle(&ctx, &call))
     })()
     .unwrap_or_else(|e| gae_wire::Response::Fault(gae_wire::Fault::from_error(&e)));
@@ -368,6 +398,7 @@ pub struct TcpRpcClient {
     reader: Option<BufReader<TcpStream>>,
     writer: Option<TcpStream>,
     session: Option<u64>,
+    trace: Option<gae_obs::TraceContext>,
     timeout: Duration,
 }
 
@@ -379,6 +410,7 @@ impl TcpRpcClient {
             reader: None,
             writer: None,
             session: None,
+            trace: None,
             timeout: Duration::from_secs(10),
         }
     }
@@ -387,6 +419,13 @@ impl TcpRpcClient {
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
         self
+    }
+
+    /// Attaches a trace context: every subsequent call carries it in
+    /// `X-GAE-Trace`, so server-side spans land in the caller's tree
+    /// instead of a door-minted one. `None` clears it.
+    pub fn set_trace(&mut self, trace: Option<gae_obs::TraceContext>) {
+        self.trace = trace;
     }
 
     /// Logs in via `auth.login` and attaches the session to all
@@ -439,7 +478,12 @@ impl TcpRpcClient {
 
     fn try_call_once(&mut self, body: &[u8]) -> GaeResult<Vec<u8>> {
         self.ensure_connected()?;
-        let request = HttpRequest::xmlrpc(body.to_vec(), self.session);
+        let mut request = HttpRequest::xmlrpc(body.to_vec(), self.session);
+        if let Some(trace) = self.trace {
+            request
+                .headers
+                .push(("X-GAE-Trace".to_string(), trace.encode()));
+        }
         request
             .write_to(self.writer.as_mut().expect("connected"))
             .map_err(|e| GaeError::Io(format!("send: {e}")))?;

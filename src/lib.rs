@@ -24,6 +24,7 @@
 //! | [`sim`] | `gae-sim` | discrete-event engine, load traces, network model |
 //! | [`exec`] | `gae-exec` | Condor substitute: queues, accrual, job control |
 //! | [`monitor`] | `gae-monitor` | MonALISA substitute: metrics + job events |
+//! | [`obs`] | `gae-obs` | traces, latency histograms, job timelines |
 //! | [`sched`] | `gae-sched` | Sphinx substitute: site selection, replanning |
 //! | [`trace`] | `gae-trace` | Paragon records, Downey workload, similarity |
 //! | [`durable`] | `gae-durable` | checksummed WAL + snapshots, crash recovery |
@@ -61,6 +62,7 @@ pub use gae_durable as durable;
 pub use gae_exec as exec;
 pub use gae_gate as gate;
 pub use gae_monitor as monitor;
+pub use gae_obs as obs;
 pub use gae_rpc as rpc;
 pub use gae_sched as sched;
 pub use gae_sim as sim;

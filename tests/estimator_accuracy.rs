@@ -140,7 +140,7 @@ proptest! {
         let est = TransferEstimator::new(NetworkModel::wan_2005(), seed);
         let from = SiteId::new(1);
         let to = SiteId::new(2);
-        let predicted = est.estimate_bytes(from, to, bytes).as_secs_f64();
+        let predicted = est.estimate_bytes(from, to, bytes).unwrap().as_secs_f64();
         let actual = est.true_transfer_time(from, to, bytes).as_secs_f64();
         let rel = (predicted - actual).abs() / actual;
         // ±5 % probe noise plus the ignored 30 ms latency term.

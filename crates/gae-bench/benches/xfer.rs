@@ -1,0 +1,93 @@
+//! Transfer-plane benches (DESIGN.md §11): the cost of the fluid
+//! fair-share model as link contention grows, the same population
+//! spread across independent links, and staging-chain planning.
+//!
+//! The contention sweep is the interesting curve: every start/finish
+//! event on a K-way shared link re-integrates the other K-1 drains,
+//! so completing K transfers costs O(K^2) integration steps. The
+//! fan-out sweep (same K, disjoint links) stays near-linear and
+//! bounds the overhead attributable to sharing itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gae_sim::{Link, NetworkModel};
+use gae_types::{FileRef, SimDuration, SimTime, SiteId};
+use gae_xfer::{XferConfig, XferScheduler};
+use std::hint::black_box;
+
+fn s(n: u64) -> SiteId {
+    SiteId::new(n)
+}
+
+/// `sites` sites joined by 10 MB/s zero-latency links.
+fn sched(sites: u64) -> XferScheduler {
+    let net = NetworkModel::new(Link::new(10e6, SimDuration::ZERO));
+    XferScheduler::new(net, (1..=sites).map(s), XferConfig::with_defaults())
+}
+
+/// K concurrent 10 MB transfers over ONE directed link, driven to
+/// completion: the worst case for fair-share re-integration.
+fn contention_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xfer_contended_link");
+    for k in [1u64, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut x = sched(2);
+                for i in 0..k {
+                    let lfn = format!("lfn:/c{i}");
+                    x.register(&FileRef::new(&lfn, 10_000_000).with_replicas(vec![s(1)]));
+                    x.replicate(&lfn, s(2)).expect("replicate");
+                }
+                // All K share the link: each drains at 10/K MB/s.
+                x.advance_to(SimTime::from_secs(k + 1));
+                assert_eq!(x.counters().completed, k);
+                black_box(x.landed_total())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The same K transfers, each on its own directed link: no sharing,
+/// near-linear cost. The gap to the contended sweep is the price of
+/// fair-share integration.
+fn fanout_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xfer_disjoint_links");
+    for k in [1u64, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut x = sched(k + 1);
+                for i in 0..k {
+                    let lfn = format!("lfn:/d{i}");
+                    x.register(&FileRef::new(&lfn, 10_000_000).with_replicas(vec![s(k + 1)]));
+                    x.replicate(&lfn, s(i + 1)).expect("replicate");
+                }
+                x.advance_to(SimTime::from_secs(k + 1));
+                black_box(x.landed_total())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Staging-chain planning for a task with M missing inputs: catalog
+/// probes, source picking, and chain construction (no time advanced).
+fn plan_stage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xfer_plan_stage");
+    for m in [1usize, 8, 32] {
+        let inputs: Vec<FileRef> = (0..m)
+            .map(|i| FileRef::new(format!("lfn:/in{i}"), 1_000_000).with_replicas(vec![s(1)]))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &inputs, |b, inputs| {
+            b.iter(|| {
+                let mut x = sched(2);
+                let (token, projection) = x.plan_stage(s(2), inputs).expect("chain planned");
+                x.cancel_chain(token);
+                black_box(projection)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, contention_sweep, fanout_sweep, plan_stage);
+criterion_main!(benches);

@@ -49,6 +49,7 @@ impl EstimatorService {
             estimate_db.insert(site, Arc::new(EstimateDb::new()));
         }
         let transfer = TransferEstimator::new(grid.network().clone(), 2005);
+        transfer.attach_live_links(Arc::new(crate::grid::GridLinkView(grid.clone())));
         EstimatorService {
             grid,
             runtime: RwLock::new(runtime),

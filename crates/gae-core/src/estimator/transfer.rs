@@ -7,8 +7,10 @@
 
 use gae_sim::NetworkModel;
 use gae_types::{FileRef, GaeError, GaeResult, SimDuration, SiteId};
+use gae_xfer::LinkView;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
+use std::sync::Arc;
 
 /// The transfer-time estimator: probes the network model the way a
 /// real deployment would run iperf, caches the measured bandwidth per
@@ -17,6 +19,11 @@ pub struct TransferEstimator {
     network: NetworkModel,
     rng: Mutex<StdRng>,
     cache: Mutex<std::collections::HashMap<(SiteId, SiteId), f64>>,
+    /// Live link state from the transfer scheduler, when attached:
+    /// dead links become typed estimator errors, concurrent transfers
+    /// degrade the estimate to the current per-stream fair share of
+    /// the link.
+    live: Mutex<Option<Arc<dyn LinkView>>>,
 }
 
 impl TransferEstimator {
@@ -27,7 +34,14 @@ impl TransferEstimator {
             network,
             rng: Mutex::new(gae_sim::rng::seeded_rng(seed)),
             cache: Mutex::new(std::collections::HashMap::new()),
+            live: Mutex::new(None),
         }
+    }
+
+    /// Attaches the transfer scheduler's live link view. Estimates
+    /// become contention- and fault-aware from this point on.
+    pub fn attach_live_links(&self, view: Arc<dyn LinkView>) {
+        *self.live.lock() = Some(view);
     }
 
     /// Measured bandwidth from `from` to `to`, probing on first use
@@ -57,7 +71,20 @@ impl TransferEstimator {
     /// [`GaeError::Estimator`] rather than a division-by-zero `inf`
     /// (which would panic inside `SimDuration::from_secs_f64`).
     pub fn estimate_bytes(&self, from: SiteId, to: SiteId, bytes: u64) -> GaeResult<SimDuration> {
-        let bw = self.measured_bandwidth(from, to);
+        let mut bw = self.measured_bandwidth(from, to);
+        if let Some(view) = self.live.lock().as_ref() {
+            if view.blocked(from, to) {
+                return Err(GaeError::Estimator(format!(
+                    "link from {from} to {to} is unreachable (transfer scheduler reports it down)"
+                )));
+            }
+            // Report the current per-stream share on the link, not
+            // the idle probe. `max(1)` rather than `active + 1`: the
+            // transfer being estimated is often already one of the
+            // active drains (a staging chain queried mid-flight), and
+            // counting it again would double its own contention.
+            bw /= view.active(from, to).max(1) as f64;
+        }
         if !bw.is_finite() || bw <= 0.0 {
             return Err(GaeError::Estimator(format!(
                 "no usable bandwidth from {from} to {to} (measured {bw} B/s)"

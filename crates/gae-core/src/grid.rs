@@ -24,6 +24,7 @@ use gae_types::{
     ConcretePlan, CondorId, GaeError, GaeResult, JobSpec, SimDuration, SimTime, SiteDescription,
     SiteId, TaskSpec,
 };
+use gae_xfer::{XferConfig, XferScheduler, XferUpdate};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -89,6 +90,8 @@ pub struct Grid {
     flock_partners: RwLock<BTreeMap<SiteId, Vec<SiteId>>>,
     /// Pre-interned publication keys, one entry per site.
     metric_keys: BTreeMap<SiteId, SiteMetricKeys>,
+    /// The managed data plane: every inter-site byte moves through it.
+    xfer: Mutex<XferScheduler>,
     /// Sequential or sharded advancement (fixed at build time).
     driver: DriverMode,
     /// Where a service stack over this grid should persist itself.
@@ -105,6 +108,7 @@ pub struct GridBuilder {
     driver: DriverMode,
     persist: Option<PersistenceConfig>,
     gate: Option<GateConfig>,
+    xfer: Option<XferConfig>,
 }
 
 impl GridBuilder {
@@ -117,7 +121,16 @@ impl GridBuilder {
             driver: DriverMode::Sequential,
             persist: None,
             gate: None,
+            xfer: None,
         }
+    }
+
+    /// Configures the transfer scheduler (retry policy, storage
+    /// budgets, history depth). Without it the data plane runs with
+    /// [`XferConfig::with_defaults`].
+    pub fn xfer(mut self, config: XferConfig) -> Self {
+        self.xfer = Some(config);
+        self
     }
 
     /// Sets the admission-control policy for service stacks built
@@ -218,6 +231,11 @@ impl GridBuilder {
                 },
             );
         }
+        let xfer = XferScheduler::new(
+            self.network.clone(),
+            sites.keys().copied(),
+            self.xfer.unwrap_or_else(XferConfig::with_defaults),
+        );
         let grid = Arc::new(Grid {
             sites,
             descriptions,
@@ -226,6 +244,7 @@ impl GridBuilder {
             now: RwLock::new(SimTime::ZERO),
             flock_partners: RwLock::new(BTreeMap::new()),
             metric_keys,
+            xfer: Mutex::new(xfer),
             driver: self.driver,
             persist_config: self.persist,
             gate_config: self.gate,
@@ -238,6 +257,23 @@ impl GridBuilder {
 impl Default for GridBuilder {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// [`gae_xfer::LinkView`] over a grid: the transfer estimator reads
+/// live link state (injected faults, active drain counts) straight
+/// from the transfer scheduler, so dead links surface as typed
+/// unreachable errors and contended links degrade to their fair
+/// share.
+pub struct GridLinkView(pub Arc<Grid>);
+
+impl gae_xfer::LinkView for GridLinkView {
+    fn blocked(&self, from: SiteId, to: SiteId) -> bool {
+        self.0.xfer.lock().link_blocked(from, to)
+    }
+
+    fn active(&self, from: SiteId, to: SiteId) -> usize {
+        self.0.xfer.lock().active_on(from, to)
     }
 }
 
@@ -278,18 +314,91 @@ impl Grid {
     }
 
     /// Submits a task to a site's execution service. Input files not
-    /// replicated at the site are staged first: the task spends the
-    /// true network transfer time in `Pending` before it can queue.
+    /// replicated at the site are staged through the transfer
+    /// scheduler first: the task spends the *contended* transfer time
+    /// of its input chain in `Pending` before it can queue, and the
+    /// release instant is corrected as link load changes.
     pub fn submit(
         &self,
         site: SiteId,
         spec: TaskSpec,
         checkpoint: Option<Checkpoint>,
     ) -> GaeResult<CondorId> {
-        let stage_in = self.staging_time(site, &spec);
-        self.exec(site)?
-            .lock()
-            .submit_staged(spec, checkpoint, stage_in)
+        let exec = self.exec(site)?;
+        let plan = self.with_xfer(|x| x.plan_stage(site, &spec.input_files));
+        match plan {
+            None => exec
+                .lock()
+                .submit_staged(spec, checkpoint, SimDuration::ZERO),
+            Some((token, projection)) => {
+                let stage_in = projection.saturating_since(self.now());
+                let admitted = exec.lock().submit_staged(spec, checkpoint, stage_in);
+                match admitted {
+                    Ok(condor) => {
+                        self.with_xfer(|x| x.bind_chain(token, condor.raw()));
+                        Ok(condor)
+                    }
+                    Err(e) => {
+                        self.with_xfer(|x| x.cancel_chain(token));
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs a closure against the transfer scheduler, then applies
+    /// whatever staging corrections it produced to the execution
+    /// services. The xfer lock is released before any exec lock is
+    /// taken, so the two subsystems never deadlock.
+    pub fn with_xfer<R>(&self, f: impl FnOnce(&mut XferScheduler) -> R) -> R {
+        let (result, updates) = {
+            let mut xfer = self.xfer.lock();
+            let result = f(&mut xfer);
+            (result, xfer.drain_updates())
+        };
+        self.apply_xfer_updates(updates);
+        result
+    }
+
+    fn apply_xfer_updates(&self, updates: Vec<XferUpdate>) {
+        for update in updates {
+            match update {
+                XferUpdate::Restage {
+                    site,
+                    condor,
+                    until,
+                } => {
+                    // NotFound here means the chain was pins-only and
+                    // the task queued immediately — nothing to move.
+                    if let Ok(exec) = self.exec(site) {
+                        let _ = exec.lock().restage(CondorId::new(condor), until);
+                    }
+                }
+                XferUpdate::StagingFailed {
+                    site,
+                    condor,
+                    reason,
+                } => {
+                    if let Ok(exec) = self.exec(site) {
+                        let _ = exec.lock().fail_staging(CondorId::new(condor), &reason);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Releases a task's data-plane footprint (staged-input pins,
+    /// unfinished chain transfers). Steering calls this whenever a
+    /// task leaves a site for good: completion, permanent failure,
+    /// kill, or migration.
+    pub fn release_task_data(&self, site: SiteId, condor: CondorId) {
+        self.with_xfer(|x| x.release_task(site, condor.raw()));
+    }
+
+    /// A point-in-time transfer-plane metrics snapshot.
+    pub fn xfer_metrics(&self) -> gae_xfer::XferMetrics {
+        self.xfer.lock().metrics()
     }
 
     /// Ground-truth input staging time at a site: sequential transfer
@@ -318,12 +427,19 @@ impl Grid {
             .unwrap_or(false)
     }
 
-    /// The earliest pending completion across all sites.
+    /// The earliest pending completion across all sites and the
+    /// transfer plane.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.sites
+        let site_event = self
+            .sites
             .values()
             .filter_map(|s| s.lock().next_event_time())
-            .min()
+            .min();
+        let xfer_event = self.xfer.lock().next_event_time();
+        match (site_event, xfer_event) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// The configured advancement driver.
@@ -393,12 +509,19 @@ impl Grid {
     }
 
     /// Advances every site to `t` and publishes fresh metrics.
+    ///
+    /// The transfer plane advances first, on the calling thread:
+    /// landings re-project contended chains and the resulting
+    /// `Restage`/`StagingFailed` corrections reach the execution
+    /// services *before* the sites themselves advance, in both driver
+    /// modes — part of the sharded-determinism contract.
     pub fn advance_to(&self, t: SimTime) {
         {
             let mut now = self.now.write();
             assert!(t >= *now, "grid cannot advance backwards");
             *now = t;
         }
+        self.with_xfer(|x| x.advance_to(t));
         match self.driver {
             DriverMode::Sequential => {
                 for site in self.sites.values() {
@@ -557,6 +680,9 @@ impl Grid {
                 }) else {
                     break;
                 };
+                // The task is leaving `from`: drop its staged-input
+                // pins there so the replicas become evictable again.
+                self.release_task_data(from, condor);
                 let task = spec.id;
                 match self.submit(to, spec.clone(), checkpoint) {
                     Ok(new_condor) => {
@@ -835,6 +961,60 @@ impl ServiceStack {
                 hub.record_gate(disposition, latency);
             });
         }
+        // The transfer scheduler reports its lifecycle through a
+        // callback so gae-xfer never depends on the obs crate. Every
+        // event carries its own instant (the observer runs under the
+        // xfer lock and must not read the grid clock).
+        {
+            let hub = obs.clone();
+            grid.with_xfer(|x| {
+                x.set_observer(Box::new(move |ev| {
+                    use gae_xfer::XferEvent;
+                    match ev {
+                        XferEvent::Started {
+                            id,
+                            lfn,
+                            from,
+                            to,
+                            at,
+                        } => {
+                            let ctx = hub.xfer_trace(*id, &format!("xfer {lfn} {from}->{to}"), *at);
+                            hub.span_at(ctx, "xfer.start", *at);
+                        }
+                        XferEvent::Retried {
+                            id, attempt, at, ..
+                        } => {
+                            let ctx = hub.xfer_trace(*id, "xfer", *at);
+                            hub.span_at(ctx, &format!("xfer.retry#{attempt}"), *at);
+                        }
+                        XferEvent::Resourced { id, from, at } => {
+                            let ctx = hub.xfer_trace(*id, "xfer", *at);
+                            hub.span_at(ctx, &format!("xfer.resource {from}"), *at);
+                        }
+                        XferEvent::Landed {
+                            id,
+                            from,
+                            to,
+                            requested,
+                            at,
+                            ..
+                        } => {
+                            let ctx = hub.xfer_trace(*id, "xfer", *at);
+                            hub.span_at(ctx, "xfer.land", *at);
+                            hub.record_xfer(
+                                &format!("{}->{}", from.raw(), to.raw()),
+                                at.saturating_since(*requested),
+                            );
+                        }
+                        XferEvent::Failed { id, reason, at, .. } => {
+                            let ctx = hub.xfer_trace(*id, "xfer", *at);
+                            hub.span_at(ctx, &format!("xfer.fail: {reason}"), *at);
+                        }
+                        XferEvent::Evicted { .. } => {}
+                    }
+                }));
+            });
+        }
         let memo_keys = (
             MetricKey::new(SiteId::new(0), "estimator", "memo_hits"),
             MetricKey::new(SiteId::new(0), "estimator", "memo_misses"),
@@ -861,6 +1041,14 @@ impl ServiceStack {
     fn attach_persistence(&self, persistence: Arc<Persistence>) {
         self.jobmon.attach_persistence(persistence.clone());
         self.steering.attach_persistence(persistence.clone());
+        {
+            let p = persistence.clone();
+            self.grid.with_xfer(|x| {
+                x.set_journal(Box::new(move |op| {
+                    p.append("xfer", persist::xfer_to_record(op));
+                }));
+            });
+        }
         *self.persistence.write() = Some(persistence);
     }
 
@@ -973,6 +1161,55 @@ impl ServiceStack {
                 },
             ));
         }
+        // Transfer-plane metrics under entity "xfer": monotonic
+        // counters and queue gauges grid-wide (site 0), storage used/
+        // pinned per site, active drains per directed link — all
+        // key-sorted by construction (the snapshot's vectors are).
+        let xm = self.grid.xfer_metrics();
+        let xfer_entity: Arc<str> = Arc::from("xfer");
+        for (param, value) in [
+            ("completed", xm.counters.completed as f64),
+            ("failed", xm.counters.failed as f64),
+            ("retried", xm.counters.retried as f64),
+            ("evicted", xm.counters.evicted as f64),
+            ("history_dropped", xm.counters.history_dropped as f64),
+            ("in_flight", xm.in_flight as f64),
+            ("waiting", xm.waiting as f64),
+        ] {
+            samples.push((
+                MetricKey::new(SiteId::new(0), xfer_entity.clone(), param),
+                Sample { at, value },
+            ));
+        }
+        for (site, used, pinned) in &xm.sites {
+            samples.push((
+                MetricKey::new(*site, xfer_entity.clone(), "storage_used_bytes"),
+                Sample {
+                    at,
+                    value: *used as f64,
+                },
+            ));
+            samples.push((
+                MetricKey::new(*site, xfer_entity.clone(), "storage_pinned"),
+                Sample {
+                    at,
+                    value: *pinned as f64,
+                },
+            ));
+        }
+        for (from, to, active) in &xm.links {
+            samples.push((
+                MetricKey::new(
+                    SiteId::new(0),
+                    xfer_entity.clone(),
+                    format!("link_{}_{}_active", from.raw(), to.raw()),
+                ),
+                Sample {
+                    at,
+                    value: *active as f64,
+                },
+            ));
+        }
         // Latency distributions under entity "obs": per-RPC-method and
         // per-gate-disposition count + p50/p95/p99, key-sorted so the
         // batch order is deterministic. The method set is dynamic, so
@@ -1001,6 +1238,9 @@ impl ServiceStack {
         for (disposition, snap) in self.obs.gate_snapshot() {
             push_dist("gate_", &disposition, snap);
         }
+        for (link, snap) in self.obs.xfer_snapshot() {
+            push_dist("xfer_", &link, snap);
+        }
         self.grid.monitor().publish_batch(samples);
     }
 
@@ -1016,6 +1256,7 @@ impl ServiceStack {
             steering: self.steering.export_jobs(),
             balances: self.quota.balances_snapshot(),
             ledger: self.quota.ledger(),
+            xfer: self.grid.with_xfer(|x| x.export()),
         }
     }
 
@@ -1127,6 +1368,7 @@ impl ServiceStack {
             stack.steering.restore_job(job);
         }
         stack.quota.restore(snap.balances, snap.ledger);
+        stack.grid.with_xfer(|x| x.restore(&snap.xfer));
 
         // 2. Replay the committed WAL records, in log order.
         for record in &recovered.records {
@@ -1150,6 +1392,10 @@ impl ServiceStack {
                 "charge" => stack
                     .quota
                     .apply_charge(persist::charge_from_record(&body)?),
+                "xfer" => {
+                    let op = persist::xfer_from_record(&body)?;
+                    stack.grid.with_xfer(|x| x.apply_journal(&op));
+                }
                 other => {
                     return Err(GaeError::Parse(format!(
                         "unknown wal record kind {other:?}"
@@ -1164,7 +1410,13 @@ impl ServiceStack {
         let persistence = Persistence::resume(config, &recovered, &snapshot, stack.grid.now())?;
         stack.attach_persistence(persistence);
 
-        // 4. Re-arm: resubmit everything the log says was in flight.
+        // 4. Re-arm, exactly once. First the explicit replications the
+        //    log says were requested but never landed or failed — they
+        //    restart from zero bytes. Then the in-flight tasks, whose
+        //    resubmission rebuilds their input-staging chains through
+        //    `Grid::submit` (staged inputs re-arm with the task, never
+        //    through the transfer journal, so nothing runs twice).
+        stack.grid.with_xfer(|x| x.rearm_pending());
         report.resubmitted = stack.steering.rearm_submitted()?;
         stack.checkpoint()?;
         Ok((stack, report))

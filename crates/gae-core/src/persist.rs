@@ -13,7 +13,7 @@
 //! Rust's shortest-roundtrip `f64` formatting makes the encoding
 //! bit-exact, which the crash-equivalence tests rely on.
 //!
-//! Five record kinds exist:
+//! Six record kinds exist:
 //!
 //! | kind       | payload                            | written by            |
 //! |------------|------------------------------------|-----------------------|
@@ -22,6 +22,7 @@
 //! | `task`     | one [`TrackedTask`]                | every phase change    |
 //! | `notified` | job id                             | completion notice     |
 //! | `charge`   | one [`ChargeRecord`]               | accounting on settle  |
+//! | `xfer`     | one [`gae_xfer::JournalOp`]        | transfer scheduler    |
 
 use crate::jobmon::info::JobMonitoringInfo;
 use crate::quota::ChargeRecord;
@@ -34,6 +35,7 @@ use gae_types::{
     TaskAssignment, TaskId, TaskStatus, UserId,
 };
 use gae_wire::{parse_value_document, write_value_document, Value};
+use gae_xfer::{JournalOp, XferCounters, XferExport};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -320,6 +322,148 @@ pub(crate) fn charge_from_record(v: &Value) -> GaeResult<ChargeRecord> {
     })
 }
 
+fn replicas_to_value(replicas: &[SiteId]) -> Value {
+    Value::Array(replicas.iter().map(|s| Value::from(s.raw())).collect())
+}
+
+fn replicas_from_value(v: &Value) -> GaeResult<Vec<SiteId>> {
+    v.as_array()?
+        .iter()
+        .map(|s| Ok(SiteId::new(s.as_u64()?)))
+        .collect()
+}
+
+pub(crate) fn xfer_to_record(op: &JournalOp) -> Value {
+    let simple = |kind: &str, lfn: &str, site: SiteId| {
+        Value::struct_of([
+            ("op", Value::from(kind)),
+            ("lfn", Value::from(lfn)),
+            ("site", Value::from(site.raw())),
+        ])
+    };
+    match op {
+        JournalOp::Register {
+            lfn,
+            size,
+            replicas,
+        } => Value::struct_of([
+            ("op", Value::from("register")),
+            ("lfn", Value::from(lfn.as_str())),
+            ("size", Value::from(*size)),
+            ("replicas", replicas_to_value(replicas)),
+        ]),
+        JournalOp::Requested { lfn, to } => simple("requested", lfn, *to),
+        JournalOp::Landed { lfn, to } => simple("landed", lfn, *to),
+        JournalOp::Failed { lfn, to } => simple("failed", lfn, *to),
+        JournalOp::Deleted { lfn, site } => simple("deleted", lfn, *site),
+        JournalOp::Evicted { lfn, site } => simple("evicted", lfn, *site),
+    }
+}
+
+pub(crate) fn xfer_from_record(v: &Value) -> GaeResult<JournalOp> {
+    let lfn = v.member("lfn")?.as_str()?.to_string();
+    Ok(match v.member("op")?.as_str()? {
+        "register" => JournalOp::Register {
+            lfn,
+            size: v.member("size")?.as_u64()?,
+            replicas: replicas_from_value(v.member("replicas")?)?,
+        },
+        kind => {
+            let site = SiteId::new(v.member("site")?.as_u64()?);
+            match kind {
+                "requested" => JournalOp::Requested { lfn, to: site },
+                "landed" => JournalOp::Landed { lfn, to: site },
+                "failed" => JournalOp::Failed { lfn, to: site },
+                "deleted" => JournalOp::Deleted { lfn, site },
+                "evicted" => JournalOp::Evicted { lfn, site },
+                other => {
+                    return Err(GaeError::Parse(format!("unknown xfer op {other:?}")));
+                }
+            }
+        }
+    })
+}
+
+fn xfer_export_to_value(x: &XferExport) -> Value {
+    Value::struct_of([
+        (
+            "files",
+            Value::Array(
+                x.files
+                    .iter()
+                    .map(|(lfn, size, replicas)| {
+                        Value::struct_of([
+                            ("lfn", Value::from(lfn.as_str())),
+                            ("size", Value::from(*size)),
+                            ("replicas", replicas_to_value(replicas)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "pending",
+            Value::Array(
+                x.pending
+                    .iter()
+                    .map(|(lfn, to)| {
+                        Value::struct_of([
+                            ("lfn", Value::from(lfn.as_str())),
+                            ("to", Value::from(to.raw())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "counters",
+            Value::struct_of([
+                ("completed", Value::from(x.counters.completed)),
+                ("failed", Value::from(x.counters.failed)),
+                ("retried", Value::from(x.counters.retried)),
+                ("evicted", Value::from(x.counters.evicted)),
+                ("history_dropped", Value::from(x.counters.history_dropped)),
+            ]),
+        ),
+    ])
+}
+
+fn xfer_export_from_value(v: &Value) -> GaeResult<XferExport> {
+    let counters = v.member("counters")?;
+    Ok(XferExport {
+        files: v
+            .member("files")?
+            .as_array()?
+            .iter()
+            .map(|f| {
+                Ok((
+                    f.member("lfn")?.as_str()?.to_string(),
+                    f.member("size")?.as_u64()?,
+                    replicas_from_value(f.member("replicas")?)?,
+                ))
+            })
+            .collect::<GaeResult<Vec<_>>>()?,
+        pending: v
+            .member("pending")?
+            .as_array()?
+            .iter()
+            .map(|p| {
+                Ok((
+                    p.member("lfn")?.as_str()?.to_string(),
+                    SiteId::new(p.member("to")?.as_u64()?),
+                ))
+            })
+            .collect::<GaeResult<Vec<_>>>()?,
+        counters: XferCounters {
+            completed: counters.member("completed")?.as_u64()?,
+            failed: counters.member("failed")?.as_u64()?,
+            retried: counters.member("retried")?.as_u64()?,
+            evicted: counters.member("evicted")?.as_u64()?,
+            history_dropped: counters.member("history_dropped")?.as_u64()?,
+        },
+    })
+}
+
 fn event_to_value(e: &JobEvent) -> Value {
     Value::struct_of([
         ("at_us", Value::from(e.at.as_micros())),
@@ -407,6 +551,7 @@ pub(crate) struct SnapshotState {
     pub steering: Vec<TrackedJob>,
     pub balances: Vec<(UserId, f64)>,
     pub ledger: Vec<ChargeRecord>,
+    pub xfer: XferExport,
 }
 
 fn tracked_job_to_value(j: &TrackedJob) -> Value {
@@ -477,6 +622,7 @@ pub(crate) fn encode_snapshot(state: &SnapshotState) -> Vec<u8> {
             "ledger",
             Value::Array(state.ledger.iter().map(charge_to_record).collect()),
         ),
+        ("xfer", xfer_export_to_value(&state.xfer)),
     ]);
     write_value_document(&doc).into_bytes()
 }
@@ -528,6 +674,12 @@ pub(crate) fn decode_snapshot(bytes: &[u8]) -> GaeResult<SnapshotState> {
             .iter()
             .map(charge_from_record)
             .collect::<GaeResult<Vec<_>>>()?,
+        // Snapshots from before the data plane existed carry no
+        // transfer state; start it empty.
+        xfer: match v.member("xfer") {
+            Ok(x) => xfer_export_from_value(x)?,
+            Err(_) => XferExport::default(),
+        },
     })
 }
 
@@ -650,6 +802,21 @@ mod tests {
                 cpu_time: SimDuration::from_secs(30),
                 amount: 0.25,
             }],
+            xfer: XferExport {
+                files: vec![(
+                    "hits.root".to_string(),
+                    5_000_000,
+                    vec![SiteId::new(1), SiteId::new(2)],
+                )],
+                pending: vec![("hits.root".to_string(), SiteId::new(3))],
+                counters: XferCounters {
+                    completed: 4,
+                    failed: 1,
+                    retried: 2,
+                    evicted: 0,
+                    history_dropped: 7,
+                },
+            },
         };
         let decoded = decode_snapshot(&encode_snapshot(&state)).unwrap();
         assert_eq!(decoded.events, state.events);
@@ -669,6 +836,7 @@ mod tests {
             }
         );
         assert!(!j.completion_notified);
+        assert_eq!(decoded.xfer, state.xfer);
     }
 
     #[test]
@@ -677,6 +845,48 @@ mod tests {
         assert!(s.events.is_empty());
         assert!(s.steering.is_empty());
         assert_eq!(s.evicted, 0);
+        assert_eq!(s.xfer, XferExport::default());
+    }
+
+    #[test]
+    fn xfer_record_roundtrip_all_ops() {
+        for op in [
+            JournalOp::Register {
+                lfn: "a".into(),
+                size: 42,
+                replicas: vec![SiteId::new(1), SiteId::new(9)],
+            },
+            JournalOp::Requested {
+                lfn: "a".into(),
+                to: SiteId::new(2),
+            },
+            JournalOp::Landed {
+                lfn: "a".into(),
+                to: SiteId::new(2),
+            },
+            JournalOp::Failed {
+                lfn: "a".into(),
+                to: SiteId::new(2),
+            },
+            JournalOp::Deleted {
+                lfn: "a".into(),
+                site: SiteId::new(1),
+            },
+            JournalOp::Evicted {
+                lfn: "a".into(),
+                site: SiteId::new(1),
+            },
+        ] {
+            let decoded = xfer_from_record(&xfer_to_record(&op)).unwrap();
+            assert_eq!(decoded, op);
+        }
+        // Unknown ops decode to typed parse errors, never panics.
+        let bogus = Value::struct_of([
+            ("op", Value::from("compress")),
+            ("lfn", Value::from("a")),
+            ("site", Value::from(1u64)),
+        ]);
+        assert!(xfer_from_record(&bogus).is_err());
     }
 
     #[test]

@@ -6,64 +6,55 @@
 //! requested data is located" (§2) and manage "the locations from
 //! where the jobs access their required data" (§9). The catalog maps
 //! logical file names to replica locations, resolves task input lists
-//! before scheduling, and performs managed replication whose transfer
-//! time follows the grid's network model.
+//! before scheduling, and requests managed replication.
+//!
+//! Since the data plane moved into `gae-xfer`, the catalog is a thin
+//! facade over the grid's transfer scheduler: every byte still moves
+//! through one place, so catalog-initiated replications contend for
+//! links with task input staging, are retried against link faults,
+//! and respect site storage budgets. Replicas become visible when the
+//! grid clock passes their *contended* arrival time — the scheduler
+//! lands them during [`Grid::advance_to`], no catalog poll needed.
 
 use crate::grid::Grid;
 use gae_rpc::{CallContext, MethodInfo, Service};
 use gae_types::{FileRef, GaeError, GaeResult, SimTime, SiteId, TaskSpec};
 use gae_wire::Value;
-use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use parking_lot::Mutex;
 use std::sync::Arc;
 
-/// One completed or in-flight managed replication.
-#[derive(Clone, Debug, PartialEq)]
-pub struct TransferRecord {
-    /// Logical file name.
-    pub lfn: String,
-    /// Source replica used.
-    pub from: SiteId,
-    /// Destination site.
-    pub to: SiteId,
-    /// When the transfer started.
-    pub started: SimTime,
-    /// When the replica becomes (became) available.
-    pub arrives: SimTime,
-}
+pub use gae_xfer::TransferRecord;
 
 /// The replica catalog service.
 pub struct ReplicaCatalog {
     grid: Arc<Grid>,
-    files: RwLock<HashMap<String, FileRef>>,
-    in_flight: Mutex<Vec<TransferRecord>>,
-    history: Mutex<Vec<TransferRecord>>,
+    /// Landings this catalog has already reported through
+    /// [`ReplicaCatalog::poll`].
+    seen_landings: Mutex<u64>,
 }
 
 impl ReplicaCatalog {
-    /// An empty catalog over the grid's network.
+    /// A catalog facade over the grid's transfer scheduler.
     pub fn new(grid: Arc<Grid>) -> Arc<Self> {
         Arc::new(ReplicaCatalog {
             grid,
-            files: RwLock::new(HashMap::new()),
-            in_flight: Mutex::new(Vec::new()),
-            history: Mutex::new(Vec::new()),
+            seen_landings: Mutex::new(0),
         })
     }
 
     /// Registers (or replaces) a logical file and its replicas.
     pub fn register(&self, file: FileRef) {
-        self.files.write().insert(file.logical_name.clone(), file);
+        self.grid.with_xfer(|x| x.register(&file));
     }
 
     /// Looks up a logical file.
     pub fn lookup(&self, lfn: &str) -> Option<FileRef> {
-        self.files.read().get(lfn).cloned()
+        self.grid.with_xfer(|x| x.lookup(lfn))
     }
 
     /// Number of catalogued files.
     pub fn len(&self) -> usize {
-        self.files.read().len()
+        self.grid.with_xfer(|x| x.len())
     }
 
     /// True when the catalog is empty.
@@ -72,104 +63,59 @@ impl ReplicaCatalog {
     }
 
     /// Drops one replica; the file stays catalogued even with no
-    /// replicas left (it can be re-produced).
+    /// replicas left (it can be re-produced). In-flight transfers
+    /// reading the deleted replica are re-pointed at another replica
+    /// (restarting from zero bytes) or failed with a typed
+    /// [`GaeError::Transfer`] — they never silently materialize data
+    /// from the deleted source.
     pub fn delete_replica(&self, lfn: &str, site: SiteId) -> GaeResult<()> {
-        let mut files = self.files.write();
-        let file = files
-            .get_mut(lfn)
-            .ok_or_else(|| GaeError::NotFound(format!("lfn {lfn:?}")))?;
-        file.replicas.retain(|s| *s != site);
-        Ok(())
+        self.grid.with_xfer(|x| x.delete_replica(lfn, site))
     }
 
-    /// Starts a managed replication of `lfn` to `site` from its
-    /// nearest replica. Returns the arrival time; the new replica
-    /// becomes visible once [`ReplicaCatalog::poll`] passes it.
+    /// Starts a managed replication of `lfn` to `site` from the best
+    /// source replica. Returns the projected arrival time under
+    /// current link load; the replica becomes visible once the grid
+    /// clock passes the (possibly later, if contention grows) actual
+    /// arrival. Identical outstanding requests coalesce.
     pub fn replicate(&self, lfn: &str, to: SiteId) -> GaeResult<SimTime> {
-        let file = self
-            .lookup(lfn)
-            .ok_or_else(|| GaeError::NotFound(format!("lfn {lfn:?}")))?;
-        if file.available_at(to) {
-            return Ok(self.grid.now()); // already there
-        }
-        // Coalesce with an identical transfer already in flight.
-        if let Some(t) = self
-            .in_flight
-            .lock()
-            .iter()
-            .find(|t| t.lfn == lfn && t.to == to)
-        {
-            return Ok(t.arrives);
-        }
-        let now = self.grid.now();
-        let (from, duration) = file
-            .replicas
-            .iter()
-            .map(|src| {
-                (
-                    *src,
-                    self.grid.network().transfer_time(*src, to, file.size_bytes),
-                )
-            })
-            .min_by_key(|(_, d)| *d)
-            .ok_or_else(|| GaeError::Estimator(format!("{lfn:?} has no replica to copy from")))?;
-        let record = TransferRecord {
-            lfn: lfn.to_string(),
-            from,
-            to,
-            started: now,
-            arrives: now + duration,
-        };
-        let arrives = record.arrives;
-        self.in_flight.lock().push(record);
-        Ok(arrives)
+        self.grid.with_xfer(|x| x.replicate(lfn, to))
     }
 
-    /// Applies every transfer that has arrived by the grid's current
-    /// time; returns how many replicas landed.
+    /// Reports how many replicas landed since the last poll. Landings
+    /// happen inside [`Grid::advance_to`]; this is bookkeeping for
+    /// callers that want a delta, not a visibility barrier.
     pub fn poll(&self) -> usize {
-        let now = self.grid.now();
-        let mut in_flight = self.in_flight.lock();
-        let mut landed = 0;
-        let mut remaining = Vec::with_capacity(in_flight.len());
-        for t in in_flight.drain(..) {
-            if t.arrives <= now {
-                if let Some(file) = self.files.write().get_mut(&t.lfn) {
-                    if !file.replicas.contains(&t.to) {
-                        file.replicas.push(t.to);
-                    }
-                }
-                self.history.lock().push(t);
-                landed += 1;
-            } else {
-                remaining.push(t);
-            }
-        }
-        *in_flight = remaining;
-        landed
+        let total = self.grid.with_xfer(|x| x.landed_total());
+        let mut seen = self.seen_landings.lock();
+        let landed = total.saturating_sub(*seen);
+        *seen = total;
+        landed as usize
     }
 
-    /// Transfers still in flight.
+    /// Transfers still in flight, with projected arrivals.
     pub fn in_flight(&self) -> Vec<TransferRecord> {
-        self.in_flight.lock().clone()
+        self.grid.with_xfer(|x| x.in_flight())
     }
 
-    /// Completed transfers, in arrival order.
+    /// Completed transfers, oldest first — a bounded ring of the last
+    /// `history_capacity` landings. [`ReplicaCatalog::history_dropped`]
+    /// counts what fell off the ring.
     pub fn transfer_history(&self) -> Vec<TransferRecord> {
-        self.history.lock().clone()
+        self.grid.with_xfer(|x| x.history())
+    }
+
+    /// Monotonic count of history records dropped off the bounded
+    /// ring (published to MonALISA as `xfer.history_dropped`).
+    pub fn history_dropped(&self) -> u64 {
+        self.grid.with_xfer(|x| x.counters().history_dropped)
     }
 
     /// Fills the replica lists of a task's inputs from the catalog
     /// (by logical name) so the scheduler sees current data locality.
     /// Unknown files pass through unchanged.
     pub fn resolve_inputs(&self, mut spec: TaskSpec) -> TaskSpec {
-        let files = self.files.read();
-        for input in &mut spec.input_files {
-            if let Some(known) = files.get(&input.logical_name) {
-                input.size_bytes = known.size_bytes;
-                input.replicas = known.replicas.clone();
-            }
-        }
+        self.grid
+            .with_xfer(|x| x.resolve_inputs(&mut spec.input_files));
         spec
     }
 }
@@ -255,7 +201,7 @@ impl Service for ReplicaRpc {
             },
             MethodInfo {
                 name: "replicate",
-                help: "start a managed replication; returns the arrival time (µs)",
+                help: "start a managed replication; returns the projected arrival time (µs)",
             },
             MethodInfo {
                 name: "delete_replica",
@@ -314,12 +260,12 @@ mod tests {
         assert_eq!(catalog.in_flight().len(), 1);
         // Not there yet.
         g.advance_to(SimTime::from_secs(5));
-        catalog.poll();
+        assert_eq!(catalog.poll(), 0);
         assert!(!catalog
             .lookup("lfn:/d")
             .unwrap()
             .available_at(SiteId::new(2)));
-        // Arrived.
+        // Arrived: the scheduler lands it as the clock passes 10 s.
         g.advance_to(SimTime::from_secs(10));
         assert_eq!(catalog.poll(), 1);
         assert!(catalog
@@ -345,11 +291,17 @@ mod tests {
     }
 
     #[test]
-    fn replication_needs_a_source() {
+    fn replication_needs_a_source_and_a_known_site() {
         let catalog = ReplicaCatalog::new(grid());
         catalog.register(FileRef::new("lfn:/orphan", 1));
         assert!(catalog.replicate("lfn:/orphan", SiteId::new(2)).is_err());
         assert!(catalog.replicate("lfn:/missing", SiteId::new(2)).is_err());
+        // Replicating to a site outside the grid is a typed NotFound.
+        catalog.register(FileRef::new("lfn:/ok", 1).with_replicas(vec![SiteId::new(1)]));
+        assert!(matches!(
+            catalog.replicate("lfn:/ok", SiteId::new(99)),
+            Err(GaeError::NotFound(_))
+        ));
     }
 
     #[test]
@@ -364,6 +316,36 @@ mod tests {
         assert_eq!(resolved.input_files[0].size_bytes, 5_000);
         assert!(resolved.input_files[0].available_at(SiteId::new(2)));
         assert_eq!(resolved.input_files[1].size_bytes, 7, "unknown untouched");
+    }
+
+    #[test]
+    fn history_ring_is_bounded_and_counts_drops() {
+        let mut net = NetworkModel::new(Link::new(1e9, SimDuration::ZERO));
+        net.set_symmetric(
+            SiteId::new(1),
+            SiteId::new(2),
+            Link::new(1e9, SimDuration::ZERO),
+        );
+        let g = GridBuilder::new()
+            .site(SiteDescription::new(SiteId::new(1), "a", 1, 1))
+            .site(SiteDescription::new(SiteId::new(2), "b", 1, 1))
+            .network(net)
+            .xfer(gae_xfer::XferConfig {
+                history_capacity: 2,
+                ..gae_xfer::XferConfig::with_defaults()
+            })
+            .build();
+        let catalog = ReplicaCatalog::new(g.clone());
+        for i in 0..5 {
+            let lfn = format!("lfn:/f{i}");
+            catalog.register(FileRef::new(&lfn, 1000).with_replicas(vec![SiteId::new(1)]));
+            catalog.replicate(&lfn, SiteId::new(2)).unwrap();
+            let next = g.next_event_time().expect("transfer in flight");
+            g.advance_to(next);
+        }
+        assert_eq!(catalog.poll(), 5, "all five landed");
+        assert_eq!(catalog.transfer_history().len(), 2, "ring keeps last 2");
+        assert_eq!(catalog.history_dropped(), 3, "three fell off");
     }
 
     #[test]

@@ -505,6 +505,7 @@ impl SteeringService {
             SteeringCommand::Kill => {
                 let (site, condor) = self.location(job_id, task)?;
                 self.grid.exec(site)?.lock().kill(condor)?;
+                self.grid.release_task_data(site, condor);
                 if let Some(tracked) = self.jobs.write().get_mut(&job_id) {
                     tracked.tasks.get_mut(&task).expect("indexed task").phase = TaskPhase::Killed;
                 }
@@ -626,6 +627,7 @@ impl SteeringService {
         let (spec, checkpoint) = self.grid.exec(from)?.lock().remove_for_migration(condor)?;
         // The old CondorId left the source queue with the migration.
         self.estimators.evict_submission(from, condor);
+        self.grid.release_task_data(from, condor);
         self.submit_task_to(job_id, task, to, spec, checkpoint)?;
         let at = self.grid.now();
         {
@@ -701,6 +703,7 @@ impl SteeringService {
                         tracked.tasks.get_mut(&task).expect("indexed").phase = TaskPhase::Killed;
                     }
                     self.estimators.evict_submission(site, info.condor);
+                    self.grid.release_task_data(site, info.condor);
                     self.log_task(job_id, task);
                 }
                 TaskStatus::Running => self.maybe_optimize(job_id, task, site, &info),
@@ -743,6 +746,9 @@ impl SteeringService {
         // Backup & Recovery collected the state: the submission-time
         // estimate for this CondorId can never be consulted again.
         self.estimators.evict_submission(site, info.condor);
+        // The task is done with its inputs: release the data-plane
+        // pins so the replicas become evictable.
+        self.grid.release_task_data(site, info.condor);
         // Close the task's causal tree with the collection step.
         if let Some(hub) = self.obs.read().clone() {
             let now = self.grid.now();
@@ -863,6 +869,7 @@ impl SteeringService {
         if let Ok(info) = self.jobmon.job_info(task) {
             self.collect_execution_state(task, failed_site, &info);
             self.estimators.evict_submission(failed_site, info.condor);
+            self.grid.release_task_data(failed_site, info.condor);
         }
         self.notifications.lock().push(Notification::TaskFailed {
             task,

@@ -218,6 +218,43 @@ impl ExecutionService {
         self.dispatch();
     }
 
+    /// Corrects the staging-release instant of a `Pending` task. The
+    /// grid's transfer scheduler calls this whenever link contention
+    /// moves the projected completion of the task's input chain; an
+    /// instant at or before the clock releases the task on the next
+    /// `advance_to`.
+    pub fn restage(&mut self, condor: CondorId, until: SimTime) -> GaeResult<()> {
+        match self.staging_until.get_mut(&condor) {
+            Some(slot) => {
+                *slot = until;
+                Ok(())
+            }
+            None => Err(GaeError::NotFound(format!("{condor} is not staging"))),
+        }
+    }
+
+    /// Fails a `Pending` task whose input-staging chain failed
+    /// permanently, so steering's Backup & Recovery can reschedule it.
+    pub fn fail_staging(&mut self, condor: CondorId, reason: &str) -> GaeResult<()> {
+        if self.staging_until.remove(&condor).is_none() {
+            return Err(GaeError::NotFound(format!("{condor} is not staging")));
+        }
+        let now = self.now;
+        let rec = self
+            .records
+            .get_mut(&condor)
+            .ok_or_else(|| GaeError::NotFound(condor.to_string()))?;
+        rec.status = TaskStatus::Failed;
+        rec.finished_at = Some(now);
+        let rec = self.records[&condor].clone();
+        self.emit(
+            &rec,
+            TaskStatus::Failed,
+            &format!("input staging failed: {reason}"),
+        );
+        Ok(())
+    }
+
     /// Starts queued tasks while free slots exist; with preemption
     /// enabled, vacates lower-priority running tasks for queued
     /// higher-priority ones.

@@ -18,6 +18,7 @@ pub struct ObsHub {
     traces: TraceStore,
     rpc: HistogramSet,
     gate: HistogramSet,
+    xfer: HistogramSet,
     timelines: TimelineStore,
     next_trace: AtomicU64,
 }
@@ -30,6 +31,7 @@ impl ObsHub {
             traces: TraceStore::new(),
             rpc: HistogramSet::new(),
             gate: HistogramSet::new(),
+            xfer: HistogramSet::new(),
             timelines: TimelineStore::new(),
             next_trace: AtomicU64::new(1),
         })
@@ -55,6 +57,12 @@ impl ObsHub {
         let ctx = self.traces.root(TraceId::for_condor(condor_raw), name, at);
         self.traces.bind_condor(condor_raw, ctx.trace);
         ctx
+    }
+
+    /// The deterministic trace of a managed transfer, rooted on first
+    /// use (derived from the transfer scheduler's sequential id).
+    pub fn xfer_trace(&self, transfer_id: u64, name: &str, at: SimTime) -> TraceContext {
+        self.traces.root(TraceId::for_xfer(transfer_id), name, at)
     }
 
     /// Appends a child span under `ctx`.
@@ -94,6 +102,17 @@ impl ObsHub {
     /// Per-disposition latency snapshots, disposition-sorted.
     pub fn gate_snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
         self.gate.snapshot()
+    }
+
+    /// Records one landed transfer's request-to-arrival latency under
+    /// its directed link (`"from->to"`).
+    pub fn record_xfer(&self, link: &str, latency: SimDuration) {
+        self.xfer.record(link, latency);
+    }
+
+    /// Per-link transfer latency snapshots, link-sorted.
+    pub fn xfer_snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.xfer.snapshot()
     }
 
     // ---- timelines ----
@@ -149,6 +168,12 @@ impl ObsHub {
                 s.count, s.p50_us, s.p95_us, s.p99_us, s.max_us
             ));
         }
+        for (name, s) in self.xfer_snapshot() {
+            out.push_str(&format!(
+                "xfer:{name:<19} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
+                s.count, s.p50_us, s.p95_us, s.p99_us, s.max_us
+            ));
+        }
         out
     }
 }
@@ -184,13 +209,15 @@ mod tests {
     }
 
     #[test]
-    fn histogram_table_renders_both_families() {
+    fn histogram_table_renders_all_families() {
         let (hub, _) = hub();
         hub.record_rpc("steer.submit", SimDuration::from_micros(40));
         hub.record_gate("run", SimDuration::from_micros(3));
+        hub.record_xfer("1->2", SimDuration::from_secs(8));
         let table = hub.render_histograms();
         assert!(table.contains("steer.submit"), "{table}");
         assert!(table.contains("gate:run"), "{table}");
+        assert!(table.contains("xfer:1->2"), "{table}");
     }
 
     #[test]

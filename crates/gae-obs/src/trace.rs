@@ -21,6 +21,11 @@ pub struct TraceId(u64);
 /// from the door's counter-minted ids.
 const CONDOR_BIT: u64 = 1 << 63;
 
+/// Second-highest bit marks transfer-derived trace ids (from the
+/// transfer scheduler's sequential transfer ids), disjoint from both
+/// of the families above.
+const XFER_BIT: u64 = 1 << 62;
+
 impl TraceId {
     /// Wraps a raw id (door-minted counters start at 1).
     pub const fn new(raw: u64) -> Self {
@@ -31,6 +36,12 @@ impl TraceId {
     /// its CondorId so both driver modes agree without coordination.
     pub const fn for_condor(condor_raw: u64) -> Self {
         TraceId(condor_raw | CONDOR_BIT)
+    }
+
+    /// The deterministic trace id of a managed transfer, derived from
+    /// the transfer scheduler's sequential transfer id.
+    pub const fn for_xfer(transfer_id: u64) -> Self {
+        TraceId(transfer_id | XFER_BIT)
     }
 
     /// The raw id.
@@ -261,6 +272,13 @@ mod tests {
     fn condor_ids_are_disjoint_from_counter_ids() {
         assert_ne!(TraceId::for_condor(1), TraceId::new(1));
         assert_eq!(TraceId::for_condor(5).raw() & !CONDOR_BIT, 5);
+    }
+
+    #[test]
+    fn xfer_ids_are_disjoint_from_both_families() {
+        assert_ne!(TraceId::for_xfer(1), TraceId::new(1));
+        assert_ne!(TraceId::for_xfer(1), TraceId::for_condor(1));
+        assert_eq!(TraceId::for_xfer(5).raw() & !XFER_BIT, 5);
     }
 
     #[test]

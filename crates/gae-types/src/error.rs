@@ -69,6 +69,11 @@ pub enum GaeError {
         /// "production", "scavenger", or a breaker key).
         shed_class: String,
     },
+    /// A managed data transfer failed permanently: retries exhausted
+    /// against a dead link, the source replica was deleted with no
+    /// alternative, or the destination's storage budget could not
+    /// admit the file.
+    Transfer(String),
 }
 
 impl GaeError {
@@ -89,6 +94,7 @@ impl GaeError {
             GaeError::Timeout(_) => "timeout",
             GaeError::RateLimited { .. } => "rate_limited",
             GaeError::Overloaded { .. } => "overloaded",
+            GaeError::Transfer(_) => "transfer",
         }
     }
 
@@ -120,6 +126,7 @@ impl GaeError {
             GaeError::Timeout(_) => 504,
             GaeError::RateLimited { .. } => 429,
             GaeError::Overloaded { .. } => 503,
+            GaeError::Transfer(_) => 521,
         }
     }
 
@@ -145,6 +152,7 @@ impl GaeError {
             507 => strip("resource exhausted: "),
             502 => strip("io error: "),
             504 => strip("timeout: "),
+            521 => strip("transfer error: "),
             _ => message,
         };
         // Gate faults carry their payload inside the fault string;
@@ -170,6 +178,7 @@ impl GaeError {
             507 => GaeError::ResourceExhausted(message),
             502 => GaeError::Io(message),
             504 => GaeError::Timeout(message),
+            521 => GaeError::Transfer(message),
             _ => GaeError::Rpc { code, message },
         }
     }
@@ -230,6 +239,7 @@ impl fmt::Display for GaeError {
                 f,
                 "overloaded (class={shed_class}): retry_after_us={retry_after_us}"
             ),
+            GaeError::Transfer(why) => write!(f, "transfer error: {why}"),
         }
     }
 }
@@ -276,6 +286,7 @@ mod tests {
                 retry_after_us: 9,
                 shed_class: "scavenger".into(),
             },
+            GaeError::Transfer("x".into()),
         ];
         for e in cases {
             let back = GaeError::from_fault(e.fault_code(), "x".into());
@@ -355,9 +366,10 @@ mod tests {
                 attempted: String::new(),
             }
             .kind(),
+            GaeError::Transfer(String::new()).kind(),
         ]
         .into_iter()
         .collect();
-        assert_eq!(kinds.len(), 13);
+        assert_eq!(kinds.len(), 14);
     }
 }

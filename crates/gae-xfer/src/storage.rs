@@ -1,0 +1,126 @@
+//! Per-site replica storage accounting: byte budgets, pin counts,
+//! and LRU bookkeeping. Eviction *policy* (never the last replica,
+//! journal + event emission) lives in the scheduler, which can see
+//! the whole replica map; this module only owns one site's ledger.
+
+use std::collections::BTreeMap;
+
+/// One site's storage ledger.
+#[derive(Debug, Default)]
+pub(crate) struct SiteStore {
+    /// Byte budget; `None` is unbounded.
+    pub budget: Option<u64>,
+    /// Bytes held by replicas at this site.
+    pub used: u64,
+    /// lfn → last-touch sequence (smaller = colder).
+    pub lru: BTreeMap<String, u64>,
+    /// lfn → pin count (pinned replicas are never evicted).
+    pub pins: BTreeMap<String, u32>,
+}
+
+impl SiteStore {
+    pub fn new(budget: Option<u64>) -> Self {
+        SiteStore {
+            budget,
+            ..SiteStore::default()
+        }
+    }
+
+    /// Accounts a replica in (registration, landing, replay). Does
+    /// not check the budget: callers make room first; authoritative
+    /// paths (registration, WAL replay) may overshoot.
+    pub fn admit(&mut self, lfn: &str, size: u64, seq: u64) {
+        if self.lru.insert(lfn.to_string(), seq).is_none() {
+            self.used += size;
+        }
+    }
+
+    /// Accounts a replica out (deletion, eviction). Pin state for
+    /// the file is dropped with it.
+    pub fn remove(&mut self, lfn: &str, size: u64) {
+        if self.lru.remove(lfn).is_some() {
+            self.used = self.used.saturating_sub(size);
+        }
+        self.pins.remove(lfn);
+    }
+
+    /// Refreshes the LRU recency of a held replica.
+    pub fn touch(&mut self, lfn: &str, seq: u64) {
+        if let Some(s) = self.lru.get_mut(lfn) {
+            *s = seq;
+        }
+    }
+
+    pub fn pin(&mut self, lfn: &str) {
+        *self.pins.entry(lfn.to_string()).or_insert(0) += 1;
+    }
+
+    pub fn unpin(&mut self, lfn: &str) {
+        if let Some(n) = self.pins.get_mut(lfn) {
+            *n -= 1;
+            if *n == 0 {
+                self.pins.remove(lfn);
+            }
+        }
+    }
+
+    pub fn pinned(&self, lfn: &str) -> bool {
+        self.pins.contains_key(lfn)
+    }
+
+    /// Bytes still admissible without eviction (`u64::MAX` when
+    /// unbounded).
+    pub fn headroom(&self) -> u64 {
+        match self.budget {
+            None => u64::MAX,
+            Some(b) => b.saturating_sub(self.used),
+        }
+    }
+
+    /// Held lfns coldest-first: the eviction scan order.
+    pub fn coldest_first(&self) -> Vec<String> {
+        let mut order: Vec<(u64, &String)> = self.lru.iter().map(|(l, s)| (*s, l)).collect();
+        order.sort();
+        order.into_iter().map(|(_, l)| l.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admit_remove_roundtrip() {
+        let mut s = SiteStore::new(Some(100));
+        s.admit("a", 60, 1);
+        s.admit("a", 60, 2); // re-admit is idempotent on bytes
+        assert_eq!(s.used, 60);
+        assert_eq!(s.headroom(), 40);
+        s.remove("a", 60);
+        assert_eq!(s.used, 0);
+        assert!(!s.lru.contains_key("a"));
+    }
+
+    #[test]
+    fn pins_are_counted() {
+        let mut s = SiteStore::new(None);
+        s.admit("a", 1, 1);
+        s.pin("a");
+        s.pin("a");
+        s.unpin("a");
+        assert!(s.pinned("a"));
+        s.unpin("a");
+        assert!(!s.pinned("a"));
+        assert_eq!(s.headroom(), u64::MAX);
+    }
+
+    #[test]
+    fn lru_order_is_coldest_first() {
+        let mut s = SiteStore::new(Some(10));
+        s.admit("a", 1, 5);
+        s.admit("b", 1, 2);
+        s.admit("c", 1, 9);
+        s.touch("b", 11);
+        assert_eq!(s.coldest_first(), vec!["a", "c", "b"]);
+    }
+}

@@ -69,6 +69,7 @@ pub use gae_sim as sim;
 pub use gae_trace as trace;
 pub use gae_types as types;
 pub use gae_wire as wire;
+pub use gae_xfer as xfer;
 
 /// Everything most programs need, in one import.
 pub mod prelude {
@@ -80,4 +81,5 @@ pub mod prelude {
     pub use gae_core::{EstimatorService, QuotaService};
     pub use gae_gate::{Gate, GateClass, GateConfig, GateStats, Principal};
     pub use gae_types::prelude::*;
+    pub use gae_xfer::{RetryPolicy, XferConfig, XferScheduler};
 }

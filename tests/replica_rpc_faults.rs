@@ -1,0 +1,167 @@
+//! Replica RPC facade error paths: every malformed or impossible
+//! request must come back as a typed fault with a stable wire code —
+//! never a panic, never a silent success. The 2005 deployment's
+//! Clarens clients match on fault codes, so the codes are part of the
+//! contract: 400 for parse faults, 404 for unknown names, 521 for
+//! transfer-plane failures.
+
+use gae::core::replica::{ReplicaCatalog, ReplicaRpc};
+use gae::core::{Grid, GridBuilder};
+use gae::prelude::*;
+use gae::rpc::{CallContext, Service};
+use gae::sim::{Link, NetworkModel};
+use gae::wire::Value;
+use std::sync::Arc;
+
+fn grid() -> Arc<Grid> {
+    let net = NetworkModel::new(Link::new(1e6, SimDuration::ZERO));
+    GridBuilder::new()
+        .site(SiteDescription::new(SiteId::new(1), "a", 1, 1))
+        .site(SiteDescription::new(SiteId::new(2), "b", 1, 1))
+        .network(net)
+        .build()
+}
+
+fn svc() -> ReplicaRpc {
+    let catalog = ReplicaCatalog::new(grid());
+    catalog.register(FileRef::new("lfn:/present", 1_000_000).with_replicas(vec![SiteId::new(1)]));
+    ReplicaRpc::new(catalog)
+}
+
+fn call(svc: &ReplicaRpc, method: &str, params: &[Value]) -> GaeResult<Value> {
+    svc.call(&CallContext::anonymous("test"), method, params)
+}
+
+#[test]
+fn missing_params_are_parse_faults() {
+    let svc = svc();
+    for method in ["register", "lookup", "replicate", "delete_replica"] {
+        let e = call(&svc, method, &[]).expect_err(method);
+        assert_eq!(e.fault_code(), 400, "{method}: {e}");
+    }
+    // Too few for the arity, even with one param present.
+    let e = call(&svc, "replicate", &[Value::from("lfn:/present")]).unwrap_err();
+    assert_eq!(e.fault_code(), 400, "{e}");
+    let e = call(&svc, "register", &[Value::from("lfn:/x")]).unwrap_err();
+    assert_eq!(e.fault_code(), 400, "{e}");
+}
+
+#[test]
+fn ill_typed_params_are_parse_faults() {
+    let svc = svc();
+    // A string where a site number belongs.
+    let e = call(
+        &svc,
+        "replicate",
+        &[Value::from("lfn:/present"), Value::from("not-a-site")],
+    )
+    .unwrap_err();
+    assert_eq!(e.fault_code(), 400, "{e}");
+    // A number where the lfn belongs.
+    let e = call(
+        &svc,
+        "delete_replica",
+        &[Value::from(7u64), Value::from(1u64)],
+    )
+    .unwrap_err();
+    assert_eq!(e.fault_code(), 400, "{e}");
+    // Replica list that is not an array.
+    let e = call(
+        &svc,
+        "register",
+        &[
+            Value::from("lfn:/y"),
+            Value::from(10u64),
+            Value::from("sites"),
+        ],
+    )
+    .unwrap_err();
+    assert_eq!(e.fault_code(), 400, "{e}");
+    // Replica list holding a non-numeric site.
+    let e = call(
+        &svc,
+        "register",
+        &[
+            Value::from("lfn:/y"),
+            Value::from(10u64),
+            Value::Array(vec![Value::from("one")]),
+        ],
+    )
+    .unwrap_err();
+    assert_eq!(e.fault_code(), 400, "{e}");
+}
+
+#[test]
+fn unknown_lfn_is_not_found() {
+    let svc = svc();
+    // Lookup of an unknown file is a soft miss (nil), but mutating an
+    // unknown file is a typed 404.
+    assert!(call(&svc, "lookup", &[Value::from("lfn:/ghost")])
+        .unwrap()
+        .is_nil());
+    let e = call(
+        &svc,
+        "replicate",
+        &[Value::from("lfn:/ghost"), Value::from(2u64)],
+    )
+    .unwrap_err();
+    assert_eq!(e.fault_code(), 404, "{e}");
+    let e = call(
+        &svc,
+        "delete_replica",
+        &[Value::from("lfn:/ghost"), Value::from(1u64)],
+    )
+    .unwrap_err();
+    assert_eq!(e.fault_code(), 404, "{e}");
+}
+
+#[test]
+fn replicate_to_unknown_site_is_not_found() {
+    let svc = svc();
+    let e = call(
+        &svc,
+        "replicate",
+        &[Value::from("lfn:/present"), Value::from(99u64)],
+    )
+    .unwrap_err();
+    assert_eq!(e.fault_code(), 404, "{e}");
+    assert!(e.to_string().contains("99"), "names the site: {e}");
+}
+
+#[test]
+fn replicate_with_no_usable_source_is_a_transfer_fault() {
+    let catalog = ReplicaCatalog::new(grid());
+    // Registered but with zero replicas: nothing to copy from.
+    catalog.register(FileRef::new("lfn:/orphan", 5));
+    let svc = ReplicaRpc::new(catalog);
+    let e = call(
+        &svc,
+        "replicate",
+        &[Value::from("lfn:/orphan"), Value::from(2u64)],
+    )
+    .unwrap_err();
+    assert_eq!(e.fault_code(), 404, "no replica exists: {e}");
+
+    // A source exists but its only link is dead at request time: the
+    // transfer is accepted and retried in the background instead of
+    // faulting the call (bounded retry is the data plane's job).
+    let g = grid();
+    let catalog = ReplicaCatalog::new(g.clone());
+    catalog.register(FileRef::new("lfn:/walled", 1_000).with_replicas(vec![SiteId::new(1)]));
+    g.with_xfer(|x| x.fail_link(SiteId::new(1), SiteId::new(2)));
+    let svc = ReplicaRpc::new(catalog);
+    let arrives = call(
+        &svc,
+        "replicate",
+        &[Value::from("lfn:/walled"), Value::from(2u64)],
+    )
+    .unwrap();
+    assert!(arrives.as_u64().unwrap() > 0, "projected past the backoff");
+}
+
+#[test]
+fn unknown_method_is_a_typed_fault() {
+    let svc = svc();
+    let e = call(&svc, "defragment", &[]).unwrap_err();
+    assert!(e.to_string().contains("defragment"), "{e}");
+}

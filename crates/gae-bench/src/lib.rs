@@ -12,8 +12,10 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod gate;
+pub mod scenario;
 
 pub use fig5::{figure5, Fig5Result, Fig5Row};
 pub use fig6::{figure6, Fig6Config, Fig6Row};
 pub use fig7::{figure7, Fig7Config, Fig7Result};
 pub use gate::{gate_sweep, GateSweepConfig, GateSweepRow};
+pub use scenario::{run_scenario, ScenarioOptions, ScenarioReport};

@@ -1014,9 +1014,30 @@ impl SteeringService {
         // observed one with margin (moving costs a restart unless the
         // task checkpoints).
         let candidate_rate = 1.0 / (1.0 + candidate.estimate.load.max(0.0));
-        if candidate_rate > rate * 1.5 {
-            let _ = self.move_task(job_id, task, Some(candidate.site), MoveReason::SlowProgress);
+        if candidate_rate <= rate * 1.5 {
+            return;
         }
+        // Xfer-aware veto: a move re-stages the task's inputs at the
+        // candidate, so price staying (finish at the observed rate)
+        // against moving (queue + transfer over the live link
+        // estimate + restarted execution under the candidate's load)
+        // and only move when the candidate still wins by 20 %.
+        if policy.xfer_aware && !spec.input_files.is_empty() {
+            let remaining = info
+                .remaining_time
+                .map(|d| d.as_secs_f64())
+                .unwrap_or_else(|| spec.requested_cpu_hours * 3600.0)
+                .max(1.0);
+            let stay_secs = remaining / rate.max(1e-6);
+            let est = &candidate.estimate;
+            let move_secs = est.queue_time.as_secs_f64()
+                + est.transfer_time.as_secs_f64()
+                + remaining / candidate_rate;
+            if move_secs * 1.2 >= stay_secs {
+                return;
+            }
+        }
+        let _ = self.move_task(job_id, task, Some(candidate.site), MoveReason::SlowProgress);
     }
 
     fn maybe_notify_settled(&self, job_id: JobId) {

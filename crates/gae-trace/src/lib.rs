@@ -17,14 +17,26 @@
 //!   history-based prediction exploits;
 //! * [`similarity`] — Smith/Taylor/Foster-style **similarity
 //!   templates**: ordered feature sets used to find "similar tasks in
-//!   the history" (§6.1).
+//!   the history" (§6.1);
+//! * [`arrival`] — injectable arrival processes (Poisson, diurnal,
+//!   flash-crowd) shared by the Downey generator and the scenario
+//!   fleet;
+//! * [`scenario`] — named, seeded end-to-end scenarios (flash crowd,
+//!   diurnal, chaos grid, hot-replica storm) with machine-checked
+//!   invariants, executed by the `gae-bench` scenario runner.
 
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod record;
+pub mod scenario;
 pub mod similarity;
 pub mod workload;
 
+pub use arrival::{ArrivalProcess, Burst, DiurnalArrivals, FlashCrowdArrivals, PoissonArrivals};
 pub use record::ParagonRecord;
+pub use scenario::{
+    FaultEvent, FaultKind, FileShape, Invariant, JobArrival, ScenarioSpec, SiteShape, TaskShape,
+};
 pub use similarity::{Feature, SimilarityTemplate, TaskMeta, TemplateHierarchy};
 pub use workload::WorkloadModel;

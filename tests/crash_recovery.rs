@@ -340,6 +340,144 @@ proptest! {
     }
 }
 
+/// Crash recovery under *scenario* load (DESIGN.md §12): instead of
+/// the uniform proptest workload, the submissions follow the chaos-
+/// grid scenario's non-uniform arrival pattern — heavy-tailed task
+/// demands at bursty instants, staggered across step boundaries. The
+/// persisted sharded run crashes at the scenario's own crash tick;
+/// recovery must land exactly on the sequential reference digest at
+/// that commit point and then drive the remaining work to settlement.
+#[test]
+fn recovery_is_prefix_consistent_under_scenario_load() {
+    use gae::trace::ScenarioSpec;
+
+    let spec = ScenarioSpec::chaos_grid(7).smoke();
+    let crash_at = spec.crash_at_s.expect("chaos grid declares a crash tick");
+
+    // One commit point (run_until) per 60 s boundary; the crash tick
+    // itself is always a boundary so the persisted run dies exactly
+    // on a commit the reference also recorded.
+    let step = 60u64;
+    let mut boundaries: Vec<u64> = (1..)
+        .map(|k| k * step)
+        .take_while(|t| *t < crash_at)
+        .collect();
+    boundaries.push(crash_at);
+
+    let build = |driver: DriverMode, persist: Option<&PersistenceConfig>| {
+        let mut builder = GridBuilder::new().driver(driver);
+        for (i, site) in spec.sites.iter().enumerate() {
+            let desc = SiteDescription::new(
+                SiteId::new(i as u64 + 1),
+                format!("s{i}"),
+                site.nodes,
+                site.slots,
+            );
+            builder = if site.load > 0.0 {
+                builder.site_with_load(desc, site.load)
+            } else {
+                builder.site(desc)
+            };
+        }
+        if let Some(config) = persist {
+            builder = builder.persist(config.clone());
+        }
+        builder.build()
+    };
+
+    // Submit every arrival with `at_s` in [from, to) — plain compute
+    // jobs shaped by the scenario's heavy-tailed demands. Both runs
+    // see the identical sequence, so scheduling refusals (if any) are
+    // equivalence-preserving.
+    let submit_window = |stack: &ServiceStack, from: u64, to: u64| {
+        for (n, arrival) in spec.arrivals.iter().enumerate() {
+            if arrival.at_s < from || arrival.at_s >= to {
+                continue;
+            }
+            let job_no = n as u64 + 1;
+            let mut job = JobSpec::new(
+                JobId::new(job_no),
+                format!("chaos{job_no}"),
+                UserId::new(arrival.vo as u64),
+            );
+            let mut prev = None;
+            for (k, shape) in arrival.tasks.iter().enumerate() {
+                let id = TaskId::new(job_no * 1000 + k as u64);
+                job.add_task(
+                    TaskSpec::new(id, format!("c{job_no}-{k}"), "analysis")
+                        .with_cpu_demand(SimDuration::from_secs(shape.demand_s)),
+                );
+                if let Some(p) = prev {
+                    job.add_dependency(p, id);
+                }
+                prev = Some(id);
+            }
+            let _ = stack.submit_job(job);
+        }
+    };
+
+    // Reference: sequential, no persistence, digest at every commit.
+    let reference = {
+        let stack = ServiceStack::over(build(DriverMode::Sequential, None));
+        let mut digests = vec![digest(&stack)];
+        let mut from = 0;
+        for &t in &boundaries {
+            submit_window(&stack, from, t);
+            stack.run_until(SimTime::from_secs(t));
+            digests.push(digest(&stack));
+            from = t;
+        }
+        digests
+    };
+
+    // Persisted sharded run, killed right after the crash-tick commit
+    // (dropped before any further submission).
+    let dir = unique_temp_dir("crash-scenario-load");
+    let config = PersistenceConfig::new(&dir)
+        .snapshot_every(SimDuration::from_secs(3 * step))
+        .fsync(false);
+    {
+        let stack = ServiceStack::over(build(DriverMode::sharded(2), Some(&config)));
+        let mut from = 0;
+        for &t in &boundaries {
+            submit_window(&stack, from, t);
+            stack.run_until(SimTime::from_secs(t));
+            from = t;
+        }
+    }
+
+    let (stack, report) = ServiceStack::recover_from_disk(
+        build(DriverMode::sharded(2), None),
+        SteeringPolicy::default(),
+        SimDuration::from_secs(5),
+        &config,
+    )
+    .expect("uncorrupted recovery under scenario load");
+    let j = report.commit_index as usize;
+    assert_eq!(j, boundaries.len(), "recovered the full commit history");
+    assert_eq!(
+        digest(&stack),
+        reference[j],
+        "scenario-load recovery diverged from the reference at commit {j}"
+    );
+
+    // The continuation is live: submit the post-crash tail of the
+    // scenario (virtual time restarts at zero after recovery, so the
+    // remaining arrivals are re-anchored there) and settle everything.
+    submit_window(&stack, crash_at, u64::MAX);
+    stack.run_until(SimTime::from_secs(spec.drain_s));
+    for job in &stack.steering.export_jobs() {
+        for (t, tracked) in &job.tasks {
+            assert!(
+                tracked.phase.is_settled(),
+                "{t} did not settle after scenario-load recovery: {:?}",
+                tracked.phase
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// After recovery the stack is live: driving it onwards settles every
 /// recovered task exactly once (no duplicate submissions, no losses).
 #[test]

@@ -1,0 +1,190 @@
+//! Link flapping against the transfer plane: a deterministic flap
+//! schedule must never push retry counts past the configured attempt
+//! bound, dead-link estimates must recover once the link heals, and
+//! a permanently dead link must fail the task onward — never wedge
+//! it in `Pending`.
+
+use gae::core::replica::ReplicaCatalog;
+use gae::core::steering::MoveReason;
+use gae::prelude::*;
+use gae::sim::{Link, NetworkModel};
+use gae::types::AbstractPlan;
+use std::sync::Arc;
+
+fn s(n: u64) -> SiteId {
+    SiteId::new(n)
+}
+
+fn mb(n: u64) -> u64 {
+    n * 1_000_000
+}
+
+/// Two sites joined by 1 MB/s zero-latency links, with a bounded
+/// retry policy tight enough to exhaust inside a test horizon.
+fn flappy_grid(max_attempts: u32, backoff_secs: u64) -> Arc<Grid> {
+    GridBuilder::new()
+        .site(SiteDescription::new(s(1), "home", 1, 1))
+        .site(SiteDescription::new(s(2), "compute", 1, 1))
+        .network(NetworkModel::new(Link::new(1e6, SimDuration::ZERO)))
+        .xfer(XferConfig {
+            retry: RetryPolicy {
+                max_attempts,
+                backoff_base: SimDuration::from_secs(backoff_secs),
+            },
+            ..XferConfig::with_defaults()
+        })
+        .build()
+}
+
+/// The deterministic flap schedule: down at 0, up at 3, down again at
+/// 4, up at 5. Attempt 1 (t=0) and attempt 2 (t=2, first backoff)
+/// both hit the dead link; attempt 3 (t=6, doubled backoff) lands in
+/// the healed window and drains. Attempts stay well under the bound
+/// and the second flap (4–5 s) never touches the backed-off transfer.
+#[test]
+fn flap_schedule_stays_within_the_attempt_bound() {
+    let g = flappy_grid(4, 2);
+    let catalog = ReplicaCatalog::new(g.clone());
+    catalog.register(FileRef::new("lfn:/flap", mb(1)).with_replicas(vec![s(1)]));
+
+    g.with_xfer(|x| x.fail_link(s(1), s(2)));
+    catalog.replicate("lfn:/flap", s(2)).unwrap();
+    assert_eq!(g.with_xfer(|x| x.counters().retried), 1, "attempt 1 fails");
+
+    g.advance_to(SimTime::from_secs(3));
+    // Attempt 2 fired at 2 s into the still-dead link.
+    assert_eq!(g.with_xfer(|x| x.counters().retried), 2);
+    g.with_xfer(|x| x.heal_link(s(1), s(2)));
+    g.advance_to(SimTime::from_secs(4));
+    g.with_xfer(|x| x.fail_link(s(1), s(2)));
+    g.advance_to(SimTime::from_secs(5));
+    g.with_xfer(|x| x.heal_link(s(1), s(2)));
+
+    // Attempt 3 at 6 s (backoff 2 s then 4 s) drains 1 MB in 1 s.
+    g.advance_to(SimTime::from_secs(8));
+    assert_eq!(catalog.poll(), 1, "transfer lands after the heal");
+    let history = catalog.transfer_history();
+    assert_eq!(history.len(), 1);
+    assert_eq!(history[0].attempts, 3);
+    assert!(history[0].attempts <= 4, "attempt bound respected");
+    assert_eq!(history[0].arrives, SimTime::from_secs(7));
+    let counters = g.with_xfer(|x| x.counters());
+    assert_eq!(counters.completed, 1);
+    assert_eq!(counters.failed, 0);
+    assert_eq!(counters.retried, 2, "exactly the two dead-link attempts");
+    assert!(catalog.in_flight().is_empty());
+}
+
+/// Dead-link estimates are typed errors while the link is down and
+/// recover to the pre-fault value once it heals — the signal the
+/// scheduler (and the xfer-aware Optimizer) keys off.
+#[test]
+fn dead_link_estimates_recover_after_heal() {
+    let stack = ServiceStack::over(flappy_grid(5, 2));
+    let file = FileRef::new("lfn:/est", mb(10)).with_replicas(vec![s(1)]);
+
+    // The estimator disperses its answer with measurement noise
+    // (§6.3's error study), so bound it rather than pinning it:
+    // 10 MB at 1 MB/s is 10 s ground truth.
+    let healthy = stack
+        .estimators
+        .estimate_transfer(std::slice::from_ref(&file), s(2))
+        .expect("healthy link estimates");
+    assert!(
+        healthy > SimDuration::from_secs(2) && healthy < SimDuration::from_secs(50),
+        "estimate {healthy} wildly off the 10 s ground truth"
+    );
+
+    stack.grid.with_xfer(|x| x.fail_link(s(1), s(2)));
+    assert!(stack.grid.with_xfer(|x| x.link_blocked(s(1), s(2))));
+    assert!(
+        stack
+            .estimators
+            .estimate_transfer(std::slice::from_ref(&file), s(2))
+            .is_err(),
+        "a dead link must estimate as a typed error, not a number"
+    );
+
+    stack.grid.with_xfer(|x| x.heal_link(s(1), s(2)));
+    let recovered = stack
+        .estimators
+        .estimate_transfer(std::slice::from_ref(&file), s(2))
+        .expect("healed link estimates again");
+    assert_eq!(
+        recovered, healthy,
+        "estimate recovers to the pre-fault value"
+    );
+}
+
+/// A link that dies mid-staging and never heals: the in-flight
+/// transfer enters retry, exhausts its bounded attempts, and the
+/// staging failure fails the task typed into Backup & Recovery —
+/// which relocates it to the one site the dead link cannot poison,
+/// the file's home, where it completes without staging. Either way
+/// the job settles and no task is ever left `Pending`. (A link
+/// already dead at submission is refused up front: the estimate
+/// error means the site never bids.)
+#[test]
+fn permanent_flap_fails_the_task_instead_of_wedging_pending() {
+    let grid = flappy_grid(2, 1);
+    let stack = ServiceStack::over(grid);
+
+    let mut job = JobSpec::new(JobId::new(1), "doomed-staging", UserId::new(1));
+    let task = job.add_task(
+        TaskSpec::new(TaskId::new(1), "t1", "analysis")
+            .with_cpu_demand(SimDuration::from_secs(30))
+            .with_inputs(vec![
+                FileRef::new("lfn:/unreachable", mb(2)).with_replicas(vec![s(1)])
+            ]),
+    );
+    // Force the compute site so the scheduler cannot dodge the link
+    // by running at the file's home.
+    let plan = AbstractPlan::new(job).restricted_to(vec![s(2)]);
+    stack
+        .submit_plan(&plan)
+        .expect("schedulable while the link is up");
+
+    // The 2 MB stage-in needs 2 s; the link dies under it at 1 s and
+    // stays dead.
+    stack.run_until(SimTime::from_secs(1));
+    stack.grid.with_xfer(|x| x.fail_link(s(1), s(2)));
+    stack.run_until(SimTime::from_secs(600));
+
+    let counters = stack.grid.with_xfer(|x| x.counters());
+    assert!(counters.failed >= 1, "the staging chain failed typed");
+    assert_eq!(
+        counters.completed, 0,
+        "the dead link never delivered a byte"
+    );
+
+    let info = stack.jobmon.job_info(task).expect("tracked");
+    assert_ne!(
+        info.status,
+        TaskStatus::Pending,
+        "a permanently failed staging chain must not leave the task Pending"
+    );
+    let tracked = stack
+        .steering
+        .tracked_job(JobId::new(1))
+        .expect("job tracked");
+    assert!(tracked.is_settled(), "the job must settle, not starve");
+    match info.status {
+        // Backup & Recovery dodged the dead link: the only admissible
+        // resubmission target is the file's home, where staging is a
+        // no-op.
+        TaskStatus::Completed => {
+            assert_eq!(info.site, s(1), "recovery must avoid the dead link");
+            let recovery_moves = stack
+                .steering
+                .move_log()
+                .iter()
+                .filter(|m| m.task == task && m.reason == MoveReason::Recovery)
+                .count();
+            assert_eq!(recovery_moves, 1, "exactly one recovery relocation");
+        }
+        TaskStatus::Failed | TaskStatus::Killed => {
+            assert!(tracked.is_failed());
+        }
+        other => panic!("staging failure left the task in {other:?}"),
+    }
+}

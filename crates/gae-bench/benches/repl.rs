@@ -1,0 +1,85 @@
+//! Replication benches (DESIGN.md §13): append/commit latency as the
+//! replication factor grows. Streaming is synchronous — every commit
+//! encodes one batch document and replays it into each follower's
+//! store and state machine — so the cost is expected to rise roughly
+//! linearly with the follower count. `rotate` is benched separately:
+//! it snapshots the leader machine and rotates every follower store.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gae_durable::fault::unique_temp_dir;
+use gae_repl::{MirrorMachine, ReplConfig, ReplicatedLog};
+use gae_wire::Value;
+use std::hint::black_box;
+
+/// Records appended per commit, matching the poll-boundary batching
+/// the service stack produces.
+const RECORDS_PER_COMMIT: usize = 8;
+
+fn record_body(i: usize) -> Value {
+    Value::from(format!("payload-{i:04}"))
+}
+
+/// One committed batch of [`RECORDS_PER_COMMIT`] records, swept over
+/// total voting nodes N = 1 (no replication), 2, 3.
+fn repl_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repl_commit");
+    for nodes in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            let dir = unique_temp_dir(&format!("bench-repl-{nodes}"));
+            let cluster = ReplicatedLog::standalone(
+                &dir,
+                ReplConfig {
+                    followers: nodes - 1,
+                    fsync: false,
+                },
+                MirrorMachine::new(),
+                |_| MirrorMachine::new(),
+            )
+            .expect("cluster");
+            b.iter(|| {
+                for i in 0..RECORDS_PER_COMMIT {
+                    cluster.append("bench", record_body(i)).expect("append");
+                }
+                black_box(cluster.commit().expect("commit"))
+            });
+            drop(cluster);
+            std::fs::remove_dir_all(&dir).ok();
+        });
+    }
+    group.finish();
+}
+
+/// A rotation (leader snapshot + every follower rotating in step)
+/// over a log of committed batches, swept the same way.
+fn repl_rotate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repl_rotate");
+    for nodes in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            let dir = unique_temp_dir(&format!("bench-rotate-{nodes}"));
+            let cluster = ReplicatedLog::standalone(
+                &dir,
+                ReplConfig {
+                    followers: nodes - 1,
+                    fsync: false,
+                },
+                MirrorMachine::new(),
+                |_| MirrorMachine::new(),
+            )
+            .expect("cluster");
+            b.iter(|| {
+                for i in 0..RECORDS_PER_COMMIT {
+                    cluster.append("bench", record_body(i)).expect("append");
+                }
+                cluster.commit().expect("commit");
+                cluster.rotate().expect("rotate");
+                black_box(cluster.quorum_commit())
+            });
+            drop(cluster);
+            std::fs::remove_dir_all(&dir).ok();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, repl_commit, repl_rotate);
+criterion_main!(benches);

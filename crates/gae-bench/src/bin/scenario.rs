@@ -8,9 +8,12 @@
 //!
 //! `--compare` runs the scenario twice — Optimizer migration on and
 //! off — and prints the completion-time delta (the adaptive-loop
-//! payoff recorded in EXPERIMENTS.md).
+//! payoff recorded in EXPERIMENTS.md). `--replicate <n>` attaches a
+//! persisted WAL mirrored into `n` followers, arming any
+//! `LeaderLoss` fault the scenario declares (see `leader-loss`).
 
 use gae_bench::scenario::{run_scenario, ScenarioOptions, ScenarioReport};
+use gae_durable::fault::unique_temp_dir;
 use gae_trace::scenario::ScenarioSpec;
 
 fn print_report(r: &ScenarioReport) {
@@ -46,6 +49,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or(2005u64);
+    let replicate = args
+        .iter()
+        .position(|a| a == "--replicate")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0usize);
     let mut named: Vec<&str> = Vec::new();
     let mut skip_next = false;
     for a in args.iter() {
@@ -53,14 +62,20 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--seed" {
+        if a == "--seed" || a == "--replicate" {
             skip_next = true;
         } else if !a.starts_with("--") {
             named.push(a.as_str());
         }
     }
     if named.is_empty() {
-        named = vec!["flash-crowd", "diurnal", "chaos-grid", "hot-replica-storm"];
+        named = vec![
+            "flash-crowd",
+            "diurnal",
+            "chaos-grid",
+            "hot-replica-storm",
+            "leader-loss",
+        ];
     }
 
     let mut violated = false;
@@ -91,9 +106,20 @@ fn main() {
             );
             violated |= !on.invariant_failures.is_empty();
         } else {
-            let report = run_scenario(&spec, &ScenarioOptions::default());
+            let mut opts = ScenarioOptions::default();
+            let mut scratch = None;
+            if replicate > 0 {
+                let dir = unique_temp_dir(&format!("scenario-bin-{name}"));
+                opts.replication = replicate;
+                opts.persist_dir = Some(dir.clone());
+                scratch = Some(dir);
+            }
+            let report = run_scenario(&spec, &opts);
             print_report(&report);
             violated |= !report.invariant_failures.is_empty();
+            if let Some(dir) = scratch {
+                std::fs::remove_dir_all(&dir).ok();
+            }
         }
     }
     if violated {

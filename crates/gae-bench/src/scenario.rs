@@ -10,11 +10,18 @@
 //! Fault events hit the fabric directly — site outages through the
 //! execution services, link failures through the transfer scheduler —
 //! and an optional crash tick drops the whole stack mid-scenario and
-//! recovers it from the durable store. After the drain horizon every
-//! declared [`Invariant`] is evaluated; violations come back as
-//! strings in [`ScenarioReport::invariant_failures`] (empty = the
-//! scenario kept its promises), and per-scenario metrics are
-//! published to MonALISA under entity `"scenario"`.
+//! recovers it from the durable store. With
+//! [`ScenarioOptions::replication`] set, the stack's WAL is mirrored
+//! into an in-process follower cluster ([`gae_repl::ReplicatedLog`] in
+//! attached mode) and a [`FaultKind::LeaderLoss`] event kills the
+//! leader mid-schedule: a follower is promoted by deterministic
+//! election and the run continues from its recovered state, checked
+//! prefix-consistent against what the dead leader's own store would
+//! have recovered to. After the drain horizon every declared
+//! [`Invariant`] is evaluated; violations come back as strings in
+//! [`ScenarioReport::invariant_failures`] (empty = the scenario kept
+//! its promises), and per-scenario metrics are published to MonALISA
+//! under entity `"scenario"`.
 
 use gae_core::grid::{DriverMode, Grid, GridBuilder, ServiceStack};
 use gae_core::persist::PersistenceConfig;
@@ -53,6 +60,11 @@ pub struct ScenarioOptions {
     pub crash: bool,
     /// Durable-store directory for the crash path.
     pub persist_dir: Option<std::path::PathBuf>,
+    /// Followers mirroring the stack's WAL (0 = replication off;
+    /// needs `persist_dir`). With followers attached, a
+    /// [`FaultKind::LeaderLoss`] event in the spec kills the leader
+    /// and promotes one of them.
+    pub replication: usize,
     /// Service polling period in seconds.
     pub poll_secs: u64,
 }
@@ -64,6 +76,7 @@ impl Default for ScenarioOptions {
             driver: DriverMode::Sequential,
             crash: false,
             persist_dir: None,
+            replication: 0,
             poll_secs: 15,
         }
     }
@@ -193,6 +206,36 @@ fn apply_fault(grid: &Grid, kind: FaultKind) {
         }
         FaultKind::LinkDown(a, b) => grid.with_xfer(|x| x.fail_link(sid(a), sid(b))),
         FaultKind::LinkUp(a, b) => grid.with_xfer(|x| x.heal_link(sid(a), sid(b))),
+        // A control-plane fault, not a fabric one: the runner handles
+        // it at the boundary (see the failover block in
+        // `run_scenario`); ignored when replication is off.
+        FaultKind::LeaderLoss => {}
+    }
+}
+
+/// Heal any Down fault among `injected` whose pairing Up was trimmed
+/// from the timeline, so the drain phase after a crash or failover
+/// can settle everything (specs pair every Down with an Up, but the
+/// Ups may land after the interruption tick).
+fn heal_unpaired(grid: &Grid, injected: &[gae_trace::scenario::FaultEvent]) {
+    for f in injected {
+        match f.kind {
+            FaultKind::SiteDown(i)
+                if !injected
+                    .iter()
+                    .any(|g| g.at_s > f.at_s && g.kind == FaultKind::SiteUp(i)) =>
+            {
+                apply_fault(grid, FaultKind::SiteUp(i))
+            }
+            FaultKind::LinkDown(a, b)
+                if !injected
+                    .iter()
+                    .any(|g| g.at_s > f.at_s && g.kind == FaultKind::LinkUp(a, b)) =>
+            {
+                apply_fault(grid, FaultKind::LinkUp(a, b))
+            }
+            _ => {}
+        }
     }
 }
 
@@ -204,12 +247,49 @@ pub fn run_scenario(spec: &ScenarioSpec, opts: &ScenarioOptions) -> ScenarioRepo
         !opts.crash || opts.persist_dir.is_some(),
         "crash runs need a persistence directory"
     );
+    assert!(
+        opts.replication == 0 || opts.persist_dir.is_some(),
+        "replicated runs need a persistence directory"
+    );
     let crash_at = opts.crash.then_some(spec.crash_at_s).flatten();
+    let leader_loss_at = if opts.replication > 0 {
+        spec.faults
+            .iter()
+            .find(|f| f.kind == FaultKind::LeaderLoss)
+            .map(|f| f.at_s)
+    } else {
+        None
+    };
+    assert!(
+        crash_at.is_none() || leader_loss_at.is_none(),
+        "a run crashes or loses its leader, not both"
+    );
     let mut stack = ServiceStack::with_policy(
         build_grid(spec, opts),
         policy_for(opts),
         SimDuration::from_secs(opts.poll_secs),
     );
+    // Replication: mirror the leader's WAL into an in-process
+    // follower cluster living beside the leader's store (the store
+    // only reads `snapshot.*`/`wal.*` entries, so the subdirectory is
+    // invisible to it).
+    let cluster = if opts.replication > 0 {
+        let cluster = gae_repl::ReplicatedLog::attached(
+            &opts.persist_dir.as_ref().expect("checked").join("repl"),
+            gae_repl::ReplConfig {
+                followers: opts.replication,
+                fsync: false,
+            },
+            |_| gae_repl::MirrorMachine::new(),
+        )
+        .expect("follower cluster creation failed");
+        stack
+            .attach_replication(cluster.clone())
+            .expect("replication attach failed");
+        Some(cluster)
+    } else {
+        None
+    };
     // The front door: the stack's gate classifies and rate-limits,
     // this queue holds classified work until the pump serves it.
     // Sharing the gate's metrics sink makes queue depth and shedding
@@ -224,7 +304,7 @@ pub fn run_scenario(spec: &ScenarioSpec, opts: &ScenarioOptions) -> ScenarioRepo
     let mut boundaries: BTreeSet<u64> = spec.arrivals.iter().map(|a| a.at_s).collect();
     boundaries.extend(spec.faults.iter().map(|f| f.at_s));
     boundaries.extend((1..=spec.horizon_s / opts.poll_secs).map(|k| k * opts.poll_secs));
-    if let Some(c) = crash_at {
+    if let Some(c) = crash_at.or(leader_loss_at) {
         boundaries.retain(|b| *b <= c);
         boundaries.insert(c);
     } else {
@@ -239,6 +319,28 @@ pub fn run_scenario(spec: &ScenarioSpec, opts: &ScenarioOptions) -> ScenarioRepo
     let mut submitted_jobs: Vec<JobId> = Vec::new();
     let mut resubmitted: Vec<TaskId> = Vec::new();
     let mut recovered = false;
+    let mut failover_failures: Vec<String> = Vec::new();
+
+    // Single-node recovery against one store directory: the crash
+    // path runs it on the leader's own store, the failover path on
+    // the promoted follower's (and on the leader's, as the oracle).
+    let recover = |dir: &std::path::Path| {
+        let config = PersistenceConfig::new(dir)
+            .snapshot_every(SimDuration::from_secs(300))
+            .fsync(false);
+        ServiceStack::recover_from_disk(
+            build_grid(
+                spec,
+                &ScenarioOptions {
+                    persist_dir: None, // the store is resumed, not re-created
+                    ..opts.clone()
+                },
+            ),
+            policy_for(opts),
+            SimDuration::from_secs(opts.poll_secs),
+            &config,
+        )
+    };
 
     let pump = |queue: &AdmissionQueue<JobSpec>,
                 stack: &ServiceStack,
@@ -296,50 +398,51 @@ pub fn run_scenario(spec: &ScenarioSpec, opts: &ScenarioOptions) -> ScenarioRepo
             // front-door queue is client-side state, so it survives
             // the server crash and drains into the recovered stack.
             drop(stack);
-            let config = PersistenceConfig::new(opts.persist_dir.as_ref().expect("checked"))
-                .snapshot_every(SimDuration::from_secs(300))
-                .fsync(false);
-            let (recovered_stack, report) = ServiceStack::recover_from_disk(
-                build_grid(
-                    spec,
-                    &ScenarioOptions {
-                        persist_dir: None, // the store is resumed, not re-created
-                        ..opts.clone()
-                    },
-                ),
-                policy_for(opts),
-                SimDuration::from_secs(opts.poll_secs),
-                &config,
-            )
-            .expect("mid-scenario recovery failed");
+            let (recovered_stack, report) = recover(opts.persist_dir.as_ref().expect("checked"))
+                .expect("mid-scenario recovery failed");
             stack = recovered_stack;
             resubmitted = report.resubmitted.clone();
             recovered = true;
             // Faults already injected live in exec/xfer state that
             // the durable store restores; anything scheduled after
-            // the crash was trimmed from `boundaries` above. Heal
-            // whatever the spec leaves standing so the drain phase
-            // can settle (specs pair every Down with an Up, but the
-            // Ups may have been trimmed).
-            for f in &spec.faults[..next_fault] {
-                match f.kind {
-                    FaultKind::SiteDown(i)
-                        if !spec.faults[..next_fault]
-                            .iter()
-                            .any(|g| g.at_s > f.at_s && g.kind == FaultKind::SiteUp(i)) =>
-                    {
-                        apply_fault(&stack.grid, FaultKind::SiteUp(i))
-                    }
-                    FaultKind::LinkDown(a, b)
-                        if !spec.faults[..next_fault]
-                            .iter()
-                            .any(|g| g.at_s > f.at_s && g.kind == FaultKind::LinkUp(a, b)) =>
-                    {
-                        apply_fault(&stack.grid, FaultKind::LinkUp(a, b))
-                    }
-                    _ => {}
-                }
+            // the crash was trimmed from `boundaries` above.
+            heal_unpaired(&stack.grid, &spec.faults[..next_fault]);
+        }
+        if leader_loss_at == Some(t) {
+            use gae_repl::StateMachine;
+            // The leader dies mid-schedule. First take the oracle:
+            // ordinary single-node recovery of the dead leader's own
+            // store — the state a correct failover must reproduce.
+            // Then run the deterministic election and recover the
+            // promoted follower's store instead; the run continues on
+            // the promoted stack.
+            drop(stack);
+            let cluster = cluster.as_ref().expect("replication attached");
+            let (oracle, oracle_report) = recover(opts.persist_dir.as_ref().expect("checked"))
+                .expect("oracle recovery of the dead leader failed");
+            let promotion = cluster.fail_leader().expect("election failed");
+            let (promoted, report) =
+                recover(&promotion.dir).expect("promoted-follower recovery failed");
+            if report.commit_index != oracle_report.commit_index {
+                failover_failures.push(format!(
+                    "{} recovered commit {} != leader commit {}",
+                    promotion.node, report.commit_index, oracle_report.commit_index
+                ));
             }
+            if promoted.query_state() != oracle.query_state() {
+                failover_failures.push(format!(
+                    "{} state digest {} != leader digest {} at commit {}",
+                    promotion.node,
+                    promoted.query_state(),
+                    oracle.query_state(),
+                    report.commit_index
+                ));
+            }
+            drop(oracle);
+            stack = promoted;
+            resubmitted = report.resubmitted.clone();
+            recovered = true;
+            heal_unpaired(&stack.grid, &spec.faults[..next_fault]);
         }
     }
 
@@ -374,6 +477,8 @@ pub fn run_scenario(spec: &ScenarioSpec, opts: &ScenarioOptions) -> ScenarioRepo
             submitted_jobs,
             resubmitted,
             recovered,
+            expect_recovery: opts.crash || leader_loss_at.is_some(),
+            failover_failures,
         },
     )
 }
@@ -384,6 +489,11 @@ struct FinishState {
     submitted_jobs: Vec<JobId>,
     resubmitted: Vec<TaskId>,
     recovered: bool,
+    /// A crash tick or leader loss was scheduled, so the run must
+    /// have gone through recovery.
+    expect_recovery: bool,
+    /// Prefix-consistency violations recorded at the failover tick.
+    failover_failures: Vec<String>,
 }
 
 fn finish(
@@ -538,9 +648,10 @@ fn check_invariants(
                 }
             }
             Invariant::ExactlyOnceRearm => {
-                if opts.crash {
+                if state.expect_recovery {
                     if !state.recovered {
-                        failures.push("ExactlyOnceRearm: crash tick never recovered".into());
+                        failures
+                            .push("ExactlyOnceRearm: crash/failover tick never recovered".into());
                     }
                     let mut seen = BTreeSet::new();
                     for t in &state.resubmitted {
@@ -553,6 +664,20 @@ fn check_invariants(
             // Cross-run by construction: the harness executes the
             // scenario under both drivers and compares digests.
             Invariant::SequentialShardedEquivalence => {}
+            // Vacuous without replication attached (the named-fleet
+            // default run); with it, the failover block compared the
+            // promoted follower's recovery against the dead leader's
+            // and recorded any divergence.
+            Invariant::PrefixConsistentFailover => {
+                if opts.replication > 0 {
+                    if !state.recovered {
+                        failures.push("PrefixConsistentFailover: leader never failed over".into());
+                    }
+                    for f in &state.failover_failures {
+                        failures.push(format!("PrefixConsistentFailover: {f}"));
+                    }
+                }
+            }
         }
     }
     failures
@@ -589,6 +714,42 @@ mod tests {
             )
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn replication_without_store_is_refused() {
+        let spec = ScenarioSpec::leader_loss(1).smoke();
+        let result = std::panic::catch_unwind(|| {
+            run_scenario(
+                &spec,
+                &ScenarioOptions {
+                    replication: 2,
+                    ..ScenarioOptions::default()
+                },
+            )
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn leader_loss_fails_over_and_settles() {
+        let dir = unique_temp_dir("scenario-leader-loss");
+        let spec = ScenarioSpec::leader_loss(7).smoke();
+        let report = run_scenario(
+            &spec,
+            &ScenarioOptions {
+                replication: 2,
+                persist_dir: Some(dir.clone()),
+                ..ScenarioOptions::default()
+            },
+        );
+        assert!(
+            report.invariant_failures.is_empty(),
+            "{:?}",
+            report.invariant_failures
+        );
+        assert!(report.submitted > 0, "no jobs ran");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -861,6 +861,9 @@ pub struct ServiceStack {
     /// The durable store, when the grid was built with
     /// [`GridBuilder::persist`] or recovered from disk.
     persistence: RwLock<Option<Arc<Persistence>>>,
+    /// The replication tee, when [`ServiceStack::attach_replication`]
+    /// armed one (wrapped in `repl.*` instrumentation).
+    replication: RwLock<Option<Arc<dyn gae_repl::ReplicationSink>>>,
     /// Interned keys for the estimator memo-cache counters published
     /// each poll (`(site 0, "estimator", "memo_hits"/"memo_misses")`).
     memo_keys: (MetricKey, MetricKey),
@@ -1031,6 +1034,7 @@ impl ServiceStack {
             poll_period,
             next_poll: Mutex::new(SimTime::ZERO + poll_period),
             persistence: RwLock::new(None),
+            replication: RwLock::new(None),
             memo_keys,
             gate_keys: GateMetricKeys::intern(),
         })
@@ -1055,6 +1059,45 @@ impl ServiceStack {
     /// The durable store, when one is attached.
     pub fn persistence(&self) -> Option<Arc<Persistence>> {
         self.persistence.read().clone()
+    }
+
+    /// Arms replication: every WAL append/commit/rotate this stack
+    /// performs is teed to `sink` (typically a
+    /// [`gae_repl::ReplicatedLog`] in attached mode), wrapped in
+    /// `repl.*` span and commit-latency instrumentation. Requires an
+    /// attached durable store whose commit index matches the sink's
+    /// leader commit — replication must observe every commit from the
+    /// point it is armed.
+    pub fn attach_replication(&self, sink: Arc<dyn gae_repl::ReplicationSink>) -> GaeResult<()> {
+        let Some(p) = self.persistence() else {
+            return Err(GaeError::InvalidTransition {
+                entity: "replication".to_string(),
+                from: "no durable store attached".to_string(),
+                attempted: "attach_replication".to_string(),
+            });
+        };
+        let leader_commit = sink.stats().leader_commit;
+        if p.commit_index() != leader_commit {
+            return Err(GaeError::InvalidTransition {
+                entity: "replication".to_string(),
+                from: format!(
+                    "store at commit {}, sink at {}",
+                    p.commit_index(),
+                    leader_commit
+                ),
+                attempted: "attach_replication".to_string(),
+            });
+        }
+        let wrapped: Arc<dyn gae_repl::ReplicationSink> =
+            Arc::new(crate::replication::ObsSink::new(sink, self.obs.clone()));
+        p.set_replication_sink(wrapped.clone());
+        *self.replication.write() = Some(wrapped);
+        Ok(())
+    }
+
+    /// The instrumented replication sink, when one is armed.
+    pub fn replication(&self) -> Option<Arc<dyn gae_repl::ReplicationSink>> {
+        self.replication.read().clone()
     }
 
     /// The observability hub: request traces, latency histograms, and
@@ -1241,11 +1284,37 @@ impl ServiceStack {
         for (link, snap) in self.obs.xfer_snapshot() {
             push_dist("xfer_", &link, snap);
         }
+        for (op, snap) in self.obs.repl_snapshot() {
+            push_dist("repl_", &op, snap);
+        }
+        // Replication counters under entity "repl" whenever a sink is
+        // armed: quorum/leader commit indexes, follower liveness,
+        // stream/ack/stall/install/election totals.
+        if let Some(repl) = self.replication.read().clone() {
+            let rs = repl.stats();
+            let repl_entity: Arc<str> = Arc::from("repl");
+            for (param, value) in [
+                ("commit_index", rs.commit_index as f64),
+                ("leader_commit", rs.leader_commit as f64),
+                ("followers_total", rs.followers_total as f64),
+                ("followers_alive", rs.followers_alive as f64),
+                ("streamed_records", rs.streamed_records as f64),
+                ("acks", rs.acks as f64),
+                ("quorum_stalls", rs.quorum_stalls as f64),
+                ("snapshot_installs", rs.snapshot_installs as f64),
+                ("elections", rs.elections as f64),
+            ] {
+                samples.push((
+                    MetricKey::new(SiteId::new(0), repl_entity.clone(), param),
+                    Sample { at, value },
+                ));
+            }
+        }
         self.grid.monitor().publish_batch(samples);
     }
 
     /// A full, deterministic image of every persisted service.
-    fn snapshot_state(&self) -> persist::SnapshotState {
+    pub(crate) fn snapshot_state(&self) -> persist::SnapshotState {
         let (metrics, metrics_published) = self.grid.monitor().metrics_snapshot();
         persist::SnapshotState {
             events: self.grid.monitor().events_snapshot(),
@@ -1347,61 +1416,19 @@ impl ServiceStack {
         poll_period: SimDuration,
         config: &PersistenceConfig,
     ) -> GaeResult<(Arc<ServiceStack>, RecoveryReport)> {
+        use gae_repl::StateMachine;
+
         let recovered = DurableStore::recover(&config.dir)?;
         let stack = Self::assemble(grid, policy, poll_period);
         let mut report = RecoveryReport::from_recovered(&recovered);
 
-        // 1. Snapshot restore (no publication, no logging).
-        let snap = persist::decode_snapshot(&recovered.snapshot)?;
-        stack
-            .grid
-            .monitor()
-            .restore_events(snap.events, snap.evicted);
-        stack
-            .grid
-            .monitor()
-            .restore_metrics(snap.metrics, snap.metrics_published);
-        for info in snap.jobmon {
-            stack.jobmon.restore_info(info);
-        }
-        for job in snap.steering {
-            stack.steering.restore_job(job);
-        }
-        stack.quota.restore(snap.balances, snap.ledger);
-        stack.grid.with_xfer(|x| x.restore(&snap.xfer));
-
-        // 2. Replay the committed WAL records, in log order.
+        // 1–2. Snapshot restore plus committed-WAL replay, in log
+        //    order — both through the [`gae_repl::StateMachine`]
+        //    contract, the same path a replication follower applies
+        //    mutations through.
+        stack.restore(&recovered.snapshot)?;
         for record in &recovered.records {
-            let (kind, body) = persist::decode_record(record)?;
-            match kind.as_str() {
-                "jobmon" => {
-                    let info = crate::jobmon::JobMonitoringInfo::from_value(&body)?;
-                    stack.jobmon.replay_info(info);
-                }
-                "plan" => stack
-                    .steering
-                    .replay_plan(persist::plan_from_record(&body)?)?,
-                "task" => {
-                    let (job, task) = persist::task_from_record(&body)?;
-                    stack.steering.replay_task(job, task);
-                }
-                "notified" => {
-                    let job = gae_types::JobId::new(body.member("job")?.as_u64()?);
-                    stack.steering.replay_notified(job);
-                }
-                "charge" => stack
-                    .quota
-                    .apply_charge(persist::charge_from_record(&body)?),
-                "xfer" => {
-                    let op = persist::xfer_from_record(&body)?;
-                    stack.grid.with_xfer(|x| x.apply_journal(&op));
-                }
-                other => {
-                    return Err(GaeError::Parse(format!(
-                        "unknown wal record kind {other:?}"
-                    )))
-                }
-            }
+            stack.apply_mutation(&gae_repl::frame::decode_envelope(record)?)?;
         }
 
         // 3. Resume the store in a new generation anchored at a fresh

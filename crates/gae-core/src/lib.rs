@@ -62,6 +62,7 @@ pub mod persist;
 pub mod provider;
 pub mod quota;
 pub mod replica;
+pub mod replication;
 pub mod steering;
 pub mod submit;
 

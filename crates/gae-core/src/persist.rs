@@ -30,6 +30,8 @@ use crate::steering::state::{TaskPhase, TrackedJob, TrackedTask};
 use crate::submit::{job_from_value, job_to_value};
 use gae_durable::{DurableStore, Recovered, TailState};
 use gae_monitor::{JobEvent, MetricKey, Sample};
+use gae_repl::frame;
+use gae_repl::ReplicationSink;
 use gae_types::{
     ConcretePlan, CondorId, GaeError, GaeResult, JobId, PlanId, SimDuration, SimTime, SiteId,
     TaskAssignment, TaskId, TaskStatus, UserId,
@@ -83,6 +85,10 @@ pub struct Persistence {
     store: Mutex<DurableStore>,
     snapshot_every: SimDuration,
     last_snapshot: Mutex<SimTime>,
+    /// Optional replication tee: every append/commit/rotate this
+    /// handle performs is mirrored to the sink, making this store the
+    /// leader of a replicated log without the services knowing.
+    repl: Mutex<Option<Arc<dyn ReplicationSink>>>,
 }
 
 impl Persistence {
@@ -94,6 +100,7 @@ impl Persistence {
             store: Mutex::new(store),
             snapshot_every: config.snapshot_every,
             last_snapshot: Mutex::new(SimTime::ZERO),
+            repl: Mutex::new(None),
         }))
     }
 
@@ -110,21 +117,38 @@ impl Persistence {
             store: Mutex::new(store),
             snapshot_every: config.snapshot_every,
             last_snapshot: Mutex::new(now),
+            repl: Mutex::new(None),
         }))
+    }
+
+    /// Arms the replication tee. The sink must be attached before any
+    /// records it is expected to mirror.
+    pub(crate) fn set_replication_sink(&self, sink: Arc<dyn ReplicationSink>) {
+        *self.repl.lock() = Some(sink);
+    }
+
+    fn replication_sink(&self) -> Option<Arc<dyn ReplicationSink>> {
+        self.repl.lock().clone()
     }
 
     /// Appends one typed record to the group-commit buffer.
     pub(crate) fn append(&self, kind: &str, body: Value) {
-        let doc = write_value_document(&Value::struct_of([
-            ("kind", Value::from(kind)),
-            ("body", body),
-        ]));
+        if let Some(sink) = self.replication_sink() {
+            sink.on_append(kind, &body);
+        }
+        let doc = frame::encode_envelope(kind, &body);
         self.store.lock().append(doc.into_bytes());
     }
 
     /// Commits the buffered records (one batched write + marker).
     pub(crate) fn commit(&self) -> GaeResult<u64> {
-        self.store.lock().commit()
+        let index = self.store.lock().commit()?;
+        // The sink streams outside the store lock: follower replay
+        // must never extend the leader's commit critical section.
+        if let Some(sink) = self.replication_sink() {
+            sink.on_commit(index);
+        }
+        Ok(index)
     }
 
     /// True when the snapshot cadence has elapsed since the last
@@ -133,9 +157,18 @@ impl Persistence {
         now.saturating_since(*self.last_snapshot.lock()) >= self.snapshot_every
     }
 
-    /// Rotates to a new generation anchored at `snapshot`.
+    /// Rotates to a new generation anchored at `snapshot`. Callers
+    /// commit before rotating (checkpoint does), so the tee never
+    /// observes an implicit rotation-time commit.
     pub(crate) fn rotate(&self, now: SimTime, snapshot: &[u8]) -> GaeResult<()> {
-        self.store.lock().rotate(snapshot)?;
+        let (commit_index, record_seq) = {
+            let mut store = self.store.lock();
+            store.rotate(snapshot)?;
+            (store.commit_index(), store.record_seq())
+        };
+        if let Some(sink) = self.replication_sink() {
+            sink.on_rotate(commit_index, record_seq, snapshot);
+        }
         *self.last_snapshot.lock() = now;
         Ok(())
     }
@@ -189,15 +222,6 @@ impl RecoveryReport {
 }
 
 // ---------------------------------------------------------------- records
-
-pub(crate) fn decode_record(bytes: &[u8]) -> GaeResult<(String, Value)> {
-    let text = std::str::from_utf8(bytes)
-        .map_err(|e| GaeError::Parse(format!("wal record is not UTF-8: {e}")))?;
-    let v = parse_value_document(text)?;
-    let kind = v.member("kind")?.as_str()?.to_string();
-    let body = v.member("body")?.clone();
-    Ok((kind, body))
-}
 
 /// Full plan record: unlike the RPC `plan_to_value`, this embeds the
 /// job spec and owner so a plan is reconstructible from the log alone.
@@ -347,16 +371,16 @@ pub(crate) fn xfer_to_record(op: &JournalOp) -> Value {
             size,
             replicas,
         } => Value::struct_of([
-            ("op", Value::from("register")),
+            ("op", Value::from(op.kind())),
             ("lfn", Value::from(lfn.as_str())),
             ("size", Value::from(*size)),
             ("replicas", replicas_to_value(replicas)),
         ]),
-        JournalOp::Requested { lfn, to } => simple("requested", lfn, *to),
-        JournalOp::Landed { lfn, to } => simple("landed", lfn, *to),
-        JournalOp::Failed { lfn, to } => simple("failed", lfn, *to),
-        JournalOp::Deleted { lfn, site } => simple("deleted", lfn, *site),
-        JournalOp::Evicted { lfn, site } => simple("evicted", lfn, *site),
+        JournalOp::Requested { lfn, to } => simple(op.kind(), lfn, *to),
+        JournalOp::Landed { lfn, to } => simple(op.kind(), lfn, *to),
+        JournalOp::Failed { lfn, to } => simple(op.kind(), lfn, *to),
+        JournalOp::Deleted { lfn, site } => simple(op.kind(), lfn, *site),
+        JournalOp::Evicted { lfn, site } => simple(op.kind(), lfn, *site),
     }
 }
 
@@ -892,16 +916,21 @@ mod tests {
     #[test]
     fn record_envelope_roundtrip_and_faults() {
         let plan = sample_plan();
-        let doc = write_value_document(&Value::struct_of([
+        let doc = frame::encode_envelope("plan", &plan_to_record(&plan));
+        let m = frame::decode_envelope(doc.as_bytes()).unwrap();
+        assert_eq!(m.kind, "plan");
+        assert!(plan_from_record(&m.body).is_ok());
+        // The envelope codec now lives in gae-repl (leader and
+        // followers must agree on bytes); this pins the on-disk format
+        // to what [`Persistence::append`] actually writes.
+        let legacy = write_value_document(&Value::struct_of([
             ("kind", Value::from("plan")),
             ("body", plan_to_record(&plan)),
         ]));
-        let (kind, body) = decode_record(doc.as_bytes()).unwrap();
-        assert_eq!(kind, "plan");
-        assert!(plan_from_record(&body).is_ok());
+        assert_eq!(doc, legacy);
         // Corrupted records yield typed parse errors, never panics.
-        assert!(decode_record(&[0xff, 0xfe, 0x00]).is_err());
-        assert!(decode_record(b"<value><int>3</int></value>").is_err());
-        assert!(decode_record(&doc.as_bytes()[..doc.len() / 2]).is_err());
+        assert!(frame::decode_envelope(&[0xff, 0xfe, 0x00]).is_err());
+        assert!(frame::decode_envelope(b"<value><int>3</int></value>").is_err());
+        assert!(frame::decode_envelope(&doc.as_bytes()[..doc.len() / 2]).is_err());
     }
 }

@@ -217,6 +217,14 @@ impl DurableStore {
         self.generation
     }
 
+    /// The last data-frame sequence number written (count of records
+    /// since creation). Replication anchors snapshot installs at
+    /// `(commit_index, record_seq)` so a follower's next generation
+    /// numbers frames exactly like the leader's.
+    pub fn record_seq(&self) -> u64 {
+        self.record_seq
+    }
+
     /// Cumulative I/O statistics.
     pub fn stats(&self) -> StoreStats {
         self.stats

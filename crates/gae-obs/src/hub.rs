@@ -19,6 +19,7 @@ pub struct ObsHub {
     rpc: HistogramSet,
     gate: HistogramSet,
     xfer: HistogramSet,
+    repl: HistogramSet,
     timelines: TimelineStore,
     next_trace: AtomicU64,
 }
@@ -32,6 +33,7 @@ impl ObsHub {
             rpc: HistogramSet::new(),
             gate: HistogramSet::new(),
             xfer: HistogramSet::new(),
+            repl: HistogramSet::new(),
             timelines: TimelineStore::new(),
             next_trace: AtomicU64::new(1),
         })
@@ -63,6 +65,12 @@ impl ObsHub {
     /// use (derived from the transfer scheduler's sequential id).
     pub fn xfer_trace(&self, transfer_id: u64, name: &str, at: SimTime) -> TraceContext {
         self.traces.root(TraceId::for_xfer(transfer_id), name, at)
+    }
+
+    /// The deterministic trace of a replicated-log commit, rooted on
+    /// first use (derived from the leader's commit index).
+    pub fn repl_trace(&self, commit_index: u64, name: &str, at: SimTime) -> TraceContext {
+        self.traces.root(TraceId::for_repl(commit_index), name, at)
     }
 
     /// Appends a child span under `ctx`.
@@ -113,6 +121,18 @@ impl ObsHub {
     /// Per-link transfer latency snapshots, link-sorted.
     pub fn xfer_snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
         self.xfer.snapshot()
+    }
+
+    /// Records one replication operation's latency (`commit` =
+    /// leader-commit to leader-commit spacing, i.e. the window a
+    /// failover could lose; `rotate` = snapshot forwarding).
+    pub fn record_repl(&self, op: &str, latency: SimDuration) {
+        self.repl.record(op, latency);
+    }
+
+    /// Per-operation replication latency snapshots, op-sorted.
+    pub fn repl_snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.repl.snapshot()
     }
 
     // ---- timelines ----
@@ -174,6 +194,12 @@ impl ObsHub {
                 s.count, s.p50_us, s.p95_us, s.p99_us, s.max_us
             ));
         }
+        for (name, s) in self.repl_snapshot() {
+            out.push_str(&format!(
+                "repl:{name:<19} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
+                s.count, s.p50_us, s.p95_us, s.p99_us, s.max_us
+            ));
+        }
         out
     }
 }
@@ -214,10 +240,12 @@ mod tests {
         hub.record_rpc("steer.submit", SimDuration::from_micros(40));
         hub.record_gate("run", SimDuration::from_micros(3));
         hub.record_xfer("1->2", SimDuration::from_secs(8));
+        hub.record_repl("commit", SimDuration::from_secs(15));
         let table = hub.render_histograms();
         assert!(table.contains("steer.submit"), "{table}");
         assert!(table.contains("gate:run"), "{table}");
         assert!(table.contains("xfer:1->2"), "{table}");
+        assert!(table.contains("repl:commit"), "{table}");
     }
 
     #[test]

@@ -26,6 +26,11 @@ const CONDOR_BIT: u64 = 1 << 63;
 /// of the families above.
 const XFER_BIT: u64 = 1 << 62;
 
+/// Third-highest bit marks replication-derived trace ids (from the
+/// replicated log's commit indexes), disjoint from all the families
+/// above.
+const REPL_BIT: u64 = 1 << 61;
+
 impl TraceId {
     /// Wraps a raw id (door-minted counters start at 1).
     pub const fn new(raw: u64) -> Self {
@@ -42,6 +47,12 @@ impl TraceId {
     /// the transfer scheduler's sequential transfer id.
     pub const fn for_xfer(transfer_id: u64) -> Self {
         TraceId(transfer_id | XFER_BIT)
+    }
+
+    /// The deterministic trace id of a replicated-log commit, derived
+    /// from the leader's commit index.
+    pub const fn for_repl(commit_index: u64) -> Self {
+        TraceId(commit_index | REPL_BIT)
     }
 
     /// The raw id.
@@ -279,6 +290,14 @@ mod tests {
         assert_ne!(TraceId::for_xfer(1), TraceId::new(1));
         assert_ne!(TraceId::for_xfer(1), TraceId::for_condor(1));
         assert_eq!(TraceId::for_xfer(5).raw() & !XFER_BIT, 5);
+    }
+
+    #[test]
+    fn repl_ids_are_disjoint_from_every_family() {
+        assert_ne!(TraceId::for_repl(1), TraceId::new(1));
+        assert_ne!(TraceId::for_repl(1), TraceId::for_condor(1));
+        assert_ne!(TraceId::for_repl(1), TraceId::for_xfer(1));
+        assert_eq!(TraceId::for_repl(5).raw() & !REPL_BIT, 5);
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! # gae-repl — a deterministic replicated log over gae-durable
+//!
+//! The Backup & Recovery service of the paper restores a single node;
+//! this crate generalizes that WAL into a replicated control plane so
+//! steering/jobmon/quota/xfer state survives the loss of a whole
+//! machine. The design stays inside the repo's determinism contract:
+//! no wall clock, no RNG, no threads — replication is a synchronous,
+//! in-process fan-out that behaves identically under the Sequential
+//! and Sharded drivers.
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`frame`] | record envelope + per-commit batch documents on gae-wire framing |
+//! | [`machine`] | the [`StateMachine`] trait extracted from the ad-hoc replay paths, plus [`MirrorMachine`] |
+//! | [`cluster`] | [`ReplicatedLog`]: leader append, follower replay, quorum commit, snapshot install, election |
+//!
+//! ## Shape
+//!
+//! * The **leader** appends committed WAL records — the existing
+//!   journal ops (`jobmon` / `plan` / `task` / `notified` / `charge` /
+//!   `xfer`) are already the mutation language — and streams each
+//!   commit as one [`frame`] batch document to N in-process followers.
+//! * Each **follower** owns its own [`gae_durable::DurableStore`] in a
+//!   `node-<id>` subdirectory plus a [`StateMachine`]; it decodes the
+//!   batch, appends the records to its own WAL, commits, applies the
+//!   mutations, and acknowledges.
+//! * The **quorum commit index** is the highest index durable on a
+//!   majority of live nodes (leader included, n = followers + 1,
+//!   quorum = n/2 + 1).
+//! * Lagging or fresh followers catch up via **snapshot install**
+//!   (the leader's last rotation payload, GAESNAP1 on disk) plus the
+//!   retained **log suffix**, replayed batch by batch so commit
+//!   indexes land exactly.
+//! * On **leader loss**, a deterministic election promotes the live
+//!   follower with the highest `(commit_index, node_id)`; its store
+//!   directory is byte-compatible with the leader's, so the ordinary
+//!   single-node recovery path rebuilds the promoted control plane.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod frame;
+pub mod machine;
+
+pub use cluster::{NodeId, Promotion, ReplConfig, ReplStats, ReplicatedLog, ReplicationSink};
+pub use machine::{MirrorMachine, Mutation, StateMachine};

@@ -1,0 +1,217 @@
+//! The replicated state machine contract.
+//!
+//! Before this crate, four services each had their own ad-hoc replay
+//! path (steering plans/tasks, jobmon info, quota charges, xfer
+//! journal ops) stitched together inside single-node recovery. The
+//! [`StateMachine`] trait is that contract extracted: a mutation
+//! stream in, a deterministic state digest out, plus snapshot/restore
+//! so a machine can be rebased onto a GAESNAP1 payload. gae-core
+//! implements it for the whole service stack; [`MirrorMachine`] is the
+//! self-contained implementation followers use when the full stack is
+//! not instantiated per node.
+
+use std::collections::BTreeMap;
+
+use gae_durable::crc32::Crc32;
+use gae_types::GaeResult;
+use gae_wire::{parse_value_document, write_value_document, Value};
+
+/// One replicated log record: a journal kind plus its body document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mutation {
+    /// Journal record kind (`jobmon`, `plan`, `task`, `notified`,
+    /// `charge`, `xfer`, …).
+    pub kind: String,
+    /// The record body, exactly as journaled.
+    pub body: Value,
+}
+
+/// A deterministic state machine driven by the replicated log.
+///
+/// Methods take `&self`: implementations use interior mutability, the
+/// repo-wide idiom, so one machine can sit behind an `Arc` next to the
+/// services that feed it.
+pub trait StateMachine: Send + Sync {
+    /// Apply one committed mutation. Must be deterministic: the same
+    /// mutation sequence from the same base state yields the same
+    /// [`StateMachine::query_state`] digest on every node.
+    fn apply_mutation(&self, mutation: &Mutation) -> GaeResult<()>;
+
+    /// A deterministic digest of the current state. Byte-equal
+    /// digests across nodes is the replication correctness check.
+    fn query_state(&self) -> String;
+
+    /// Serialize the current state for a snapshot rotation.
+    fn snapshot(&self) -> Vec<u8>;
+
+    /// Replace the current state with a snapshot payload (snapshot
+    /// install). An empty payload resets to the machine's base state.
+    fn restore(&self, snapshot: &[u8]) -> GaeResult<()>;
+}
+
+/// A self-verifying follower machine: counts records per kind and
+/// folds every applied envelope into a rolling CRC, so two mirrors
+/// that saw the same record sequence agree byte-for-byte on
+/// [`StateMachine::query_state`] — and any divergence shows up as a
+/// digest mismatch.
+#[derive(Default)]
+pub struct MirrorMachine {
+    state: parking_lot::Mutex<MirrorState>,
+}
+
+#[derive(Default)]
+struct MirrorState {
+    counts: BTreeMap<String, u64>,
+    applied: u64,
+    digest: u32,
+}
+
+impl MirrorMachine {
+    /// A fresh mirror at base state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records applied since the last restore.
+    pub fn applied(&self) -> u64 {
+        self.state.lock().applied
+    }
+}
+
+impl StateMachine for MirrorMachine {
+    fn apply_mutation(&self, mutation: &Mutation) -> GaeResult<()> {
+        let envelope = crate::frame::encode_envelope(&mutation.kind, &mutation.body);
+        let mut state = self.state.lock();
+        let mut crc = Crc32::new();
+        crc.update(&state.digest.to_le_bytes());
+        crc.update(envelope.as_bytes());
+        state.digest = crc.finish();
+        *state.counts.entry(mutation.kind.clone()).or_insert(0) += 1;
+        state.applied += 1;
+        Ok(())
+    }
+
+    fn query_state(&self) -> String {
+        let state = self.state.lock();
+        let counts = state
+            .counts
+            .iter()
+            .map(|(kind, n)| format!("{kind}={n}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        format!(
+            "applied={} digest={:08x} counts=[{}]",
+            state.applied, state.digest, counts
+        )
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let state = self.state.lock();
+        let counts = state
+            .counts
+            .iter()
+            .map(|(kind, n)| {
+                Value::struct_of([("kind", Value::from(kind.as_str())), ("n", Value::from(*n))])
+            })
+            .collect::<Vec<_>>();
+        write_value_document(&Value::struct_of([
+            ("applied", Value::from(state.applied)),
+            ("digest", Value::from(u64::from(state.digest))),
+            ("counts", Value::Array(counts)),
+        ]))
+        .into_bytes()
+    }
+
+    fn restore(&self, snapshot: &[u8]) -> GaeResult<()> {
+        let mut state = self.state.lock();
+        if snapshot.is_empty() {
+            *state = MirrorState::default();
+            return Ok(());
+        }
+        // Own format first; any other payload (e.g. the full-stack
+        // snapshot a leader forwards on rotation) re-bases the mirror
+        // on the payload's CRC so all mirrors still agree.
+        if let Some(parsed) = std::str::from_utf8(snapshot)
+            .ok()
+            .and_then(|text| parse_value_document(text).ok())
+            .and_then(|value| decode_mirror(&value).ok())
+        {
+            *state = parsed;
+        } else {
+            *state = MirrorState {
+                counts: BTreeMap::new(),
+                applied: 0,
+                digest: gae_durable::crc32::crc32(snapshot),
+            };
+        }
+        Ok(())
+    }
+}
+
+fn decode_mirror(value: &Value) -> GaeResult<MirrorState> {
+    let mut counts = BTreeMap::new();
+    for entry in value.member("counts")?.as_array()? {
+        counts.insert(
+            entry.member("kind")?.as_str()?.to_string(),
+            entry.member("n")?.as_u64()?,
+        );
+    }
+    Ok(MirrorState {
+        counts,
+        applied: value.member("applied")?.as_u64()?,
+        digest: value.member("digest")?.as_u64()? as u32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(kind: &str, n: u64) -> Mutation {
+        Mutation {
+            kind: kind.to_string(),
+            body: Value::struct_of([("n", Value::from(n))]),
+        }
+    }
+
+    #[test]
+    fn same_sequence_same_digest() {
+        let a = MirrorMachine::new();
+        let b = MirrorMachine::new();
+        for i in 0..12 {
+            a.apply_mutation(&m("task", i)).unwrap();
+            b.apply_mutation(&m("task", i)).unwrap();
+        }
+        assert_eq!(a.query_state(), b.query_state());
+        // Divergence is visible.
+        b.apply_mutation(&m("task", 99)).unwrap();
+        assert_ne!(a.query_state(), b.query_state());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let a = MirrorMachine::new();
+        for i in 0..7 {
+            a.apply_mutation(&m(if i % 2 == 0 { "plan" } else { "xfer" }, i))
+                .unwrap();
+        }
+        let b = MirrorMachine::new();
+        b.restore(&a.snapshot()).unwrap();
+        assert_eq!(a.query_state(), b.query_state());
+
+        // Empty payload resets to base.
+        b.restore(&[]).unwrap();
+        assert_eq!(b.query_state(), MirrorMachine::new().query_state());
+    }
+
+    #[test]
+    fn foreign_snapshot_rebases_deterministically() {
+        let payload = b"GAESNAP-style opaque full-stack payload";
+        let a = MirrorMachine::new();
+        let b = MirrorMachine::new();
+        a.restore(payload).unwrap();
+        b.restore(payload).unwrap();
+        assert_eq!(a.query_state(), b.query_state());
+        assert_eq!(a.applied(), 0);
+    }
+}

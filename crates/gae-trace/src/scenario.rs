@@ -11,7 +11,7 @@
 //! scenario runner materialises the spec against a live `ServiceStack`
 //! and machine-checks the declared invariants.
 //!
-//! Four named scenarios ship here:
+//! Five named scenarios ship here:
 //!
 //! * **flash-crowd** — a burst of interactive analysis 12× the
 //!   baseline rate slamming the admission gate;
@@ -22,7 +22,10 @@
 //!   sites heal, and steering must migrate the crawling tasks back
 //!   out (with a crash/recovery tick near the end);
 //! * **hot-replica-storm** — dozens of tasks all staging the same
-//!   single-replica file while its home links flap.
+//!   single-replica file while its home links flap;
+//! * **leader-loss** — the chaos-grid outage pattern with the control
+//!   plane replicated: the leader dies mid-schedule and a promoted
+//!   follower must continue the run prefix-consistently.
 
 use crate::arrival::{ArrivalProcess, Burst, DiurnalArrivals, FlashCrowdArrivals, PoissonArrivals};
 use gae_sim::rng::seeded_rng;
@@ -82,6 +85,11 @@ pub enum FaultKind {
     LinkDown(usize, usize),
     /// The link heals.
     LinkUp(usize, usize),
+    /// The replicated control plane loses its leader: a follower is
+    /// promoted by deterministic election and the run continues from
+    /// the promoted node's recovered state. Meaningful only when the
+    /// runner attaches replication; otherwise a no-op.
+    LeaderLoss,
 }
 
 /// When a fault fires.
@@ -113,6 +121,11 @@ pub enum Invariant {
     /// The Sequential and Sharded drivers must produce byte-identical
     /// schedules for this scenario (checked by running it twice).
     SequentialShardedEquivalence,
+    /// After a leader loss, the promoted follower's recovered state
+    /// digest must equal the dead leader's at the recovered commit
+    /// index — the continuation is a prefix-consistent extension of
+    /// the original schedule, never a divergent one.
+    PrefixConsistentFailover,
 }
 
 /// A complete named scenario.
@@ -198,13 +211,14 @@ fn materialise_arrivals(
 }
 
 impl ScenarioSpec {
-    /// All four named scenarios at one seed, fleet order.
+    /// All five named scenarios at one seed, fleet order.
     pub fn all(seed: u64) -> Vec<ScenarioSpec> {
         vec![
             Self::flash_crowd(seed),
             Self::diurnal(seed),
             Self::chaos_grid(seed),
             Self::hot_replica_storm(seed),
+            Self::leader_loss(seed),
         ]
     }
 
@@ -215,6 +229,7 @@ impl ScenarioSpec {
             "diurnal" => Some(Self::diurnal(seed)),
             "chaos-grid" => Some(Self::chaos_grid(seed)),
             "hot-replica-storm" => Some(Self::hot_replica_storm(seed)),
+            "leader-loss" => Some(Self::leader_loss(seed)),
             _ => None,
         }
     }
@@ -467,6 +482,118 @@ impl ScenarioSpec {
         }
     }
 
+    /// Leader loss under load: the chaos-grid outage pattern with the
+    /// control plane replicated. The correlated outage lands while
+    /// tasks are still arriving, the grid heals, and then — with
+    /// recovery work (re-planning, re-staging) still in flight — the
+    /// replication leader dies. A follower is promoted by
+    /// deterministic election, re-arms the in-flight tasks exactly
+    /// once, and must continue the schedule as a prefix-consistent
+    /// extension of what the dead leader committed.
+    pub fn leader_loss(seed: u64) -> ScenarioSpec {
+        let horizon_s = 1_200;
+        let vos: Vec<Box<dyn ArrivalProcess>> = vec![
+            Box::new(PoissonArrivals::new(110.0)),
+            Box::new(PoissonArrivals::new(170.0)),
+        ];
+        // Inputs on the loaded survivor, as in chaos-grid: the
+        // promoted follower inherits live staging chains, not just
+        // queued work.
+        let files = vec![
+            FileShape {
+                lfn: "raw-run882".into(),
+                size_bytes: 150_000_000,
+                homes: vec![2],
+            },
+            FileShape {
+                lfn: "geom-2006".into(),
+                size_bytes: 50_000_000,
+                homes: vec![2],
+            },
+        ];
+        ScenarioSpec {
+            name: "leader-loss",
+            seed,
+            horizon_s,
+            drain_s: 3_600,
+            sites: vec![
+                SiteShape {
+                    nodes: 3,
+                    slots: 2,
+                    load: 0.0,
+                },
+                SiteShape {
+                    nodes: 2,
+                    slots: 2,
+                    load: 0.0,
+                },
+                SiteShape {
+                    nodes: 3,
+                    slots: 2,
+                    load: 3.0,
+                },
+                SiteShape {
+                    nodes: 2,
+                    slots: 1,
+                    load: 0.0,
+                },
+            ],
+            arrivals: materialise_arrivals(
+                seed,
+                vos,
+                700, // all arrivals land before the leader dies
+                25,
+                2,
+                (1.2, 60.0, 1_500.0),
+                0.5,
+                2,
+            ),
+            files,
+            faults: vec![
+                // The correlated outage, earlier than chaos-grid's so
+                // the heal completes before the leader loss.
+                FaultEvent {
+                    at_s: 400,
+                    kind: FaultKind::SiteDown(0),
+                },
+                FaultEvent {
+                    at_s: 400,
+                    kind: FaultKind::SiteDown(1),
+                },
+                FaultEvent {
+                    at_s: 405,
+                    kind: FaultKind::SiteDown(3),
+                },
+                FaultEvent {
+                    at_s: 800,
+                    kind: FaultKind::SiteUp(0),
+                },
+                FaultEvent {
+                    at_s: 800,
+                    kind: FaultKind::SiteUp(1),
+                },
+                FaultEvent {
+                    at_s: 805,
+                    kind: FaultKind::SiteUp(3),
+                },
+                // The control-plane fault: with re-planned work still
+                // running, the leader dies and a follower takes over.
+                FaultEvent {
+                    at_s: 1_000,
+                    kind: FaultKind::LeaderLoss,
+                },
+            ],
+            crash_at_s: None,
+            invariants: vec![
+                Invariant::NoAdmittedStarvation,
+                Invariant::NoPermanentPending,
+                Invariant::ExactlyOnceRearm,
+                Invariant::PrefixConsistentFailover,
+                Invariant::SequentialShardedEquivalence,
+            ],
+        }
+    }
+
     /// Hot-replica storm: dozens of tasks stage the same
     /// single-replica 500 MB file concurrently, fair-sharing the
     /// home site's links while those links flap.
@@ -635,6 +762,7 @@ mod tests {
                     FaultKind::LinkDown(a, b) | FaultKind::LinkUp(a, b) => {
                         assert!(site_ok(a) && site_ok(b) && a != b)
                     }
+                    FaultKind::LeaderLoss => {}
                 }
             }
             for file in &s.files {
@@ -655,6 +783,9 @@ mod tests {
                     FaultKind::SiteUp(i) => assert!(down_sites.remove(&i)),
                     FaultKind::LinkDown(a, b) => assert!(down_links.insert((a, b))),
                     FaultKind::LinkUp(a, b) => assert!(down_links.remove(&(a, b))),
+                    // A lost leader is never "healed": the promoted
+                    // follower simply carries on.
+                    FaultKind::LeaderLoss => {}
                 }
             }
             assert!(down_sites.is_empty(), "{} leaves a site dead", s.name);

@@ -250,6 +250,22 @@ pub enum JournalOp {
     },
 }
 
+impl JournalOp {
+    /// The journal record tag this op serializes under — the single
+    /// source of truth shared by the WAL codec and the replicated
+    /// log's mutation language.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JournalOp::Register { .. } => "register",
+            JournalOp::Requested { .. } => "requested",
+            JournalOp::Landed { .. } => "landed",
+            JournalOp::Failed { .. } => "failed",
+            JournalOp::Deleted { .. } => "deleted",
+            JournalOp::Evicted { .. } => "evicted",
+        }
+    }
+}
+
 /// Side effects the owning grid must apply after any scheduler call
 /// (drained via [`XferScheduler::drain_updates`]): staging
 /// completions/corrections and staging failures addressed to the

@@ -28,6 +28,7 @@
 //! | [`sched`] | `gae-sched` | Sphinx substitute: site selection, replanning |
 //! | [`trace`] | `gae-trace` | Paragon records, Downey workload, similarity |
 //! | [`durable`] | `gae-durable` | checksummed WAL + snapshots, crash recovery |
+//! | [`repl`] | `gae-repl` | replicated log: leader append, follower replay, failover |
 //! | [`core`] | `gae-core` | **the paper's services**: steering, jobmon, estimators |
 //!
 //! ## Five-minute tour
@@ -63,6 +64,7 @@ pub use gae_exec as exec;
 pub use gae_gate as gate;
 pub use gae_monitor as monitor;
 pub use gae_obs as obs;
+pub use gae_repl as repl;
 pub use gae_rpc as rpc;
 pub use gae_sched as sched;
 pub use gae_sim as sim;
@@ -80,6 +82,10 @@ pub mod prelude {
     pub use gae_core::steering::{Notification, SteeringCommand, SteeringPolicy, SteeringService};
     pub use gae_core::{EstimatorService, QuotaService};
     pub use gae_gate::{Gate, GateClass, GateConfig, GateStats, Principal};
+    pub use gae_repl::{
+        MirrorMachine, NodeId, Promotion, ReplConfig, ReplStats, ReplicatedLog, ReplicationSink,
+        StateMachine,
+    };
     pub use gae_types::prelude::*;
     pub use gae_xfer::{RetryPolicy, XferConfig, XferScheduler};
 }

@@ -84,6 +84,62 @@ fn chaos_grid_crash_recovers_exactly_once() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Leader loss with replication armed: the scenario's `LeaderLoss`
+/// fault kills the leader mid-schedule, a follower is promoted by
+/// deterministic election, and the run continues prefix-consistently
+/// (the PrefixConsistentFailover invariant compares the promoted
+/// follower's recovery against the dead leader's own) while re-arming
+/// in-flight tasks exactly once.
+#[test]
+fn leader_loss_fails_over_prefix_consistently() {
+    let dir = unique_temp_dir("scenario-fleet-leader-loss");
+    let spec = maybe_smoke(ScenarioSpec::leader_loss(SEED));
+    let report = run_scenario(
+        &spec,
+        &ScenarioOptions {
+            replication: 2,
+            persist_dir: Some(dir.clone()),
+            ..ScenarioOptions::default()
+        },
+    );
+    assert!(
+        report.invariant_failures.is_empty(),
+        "{:?}",
+        report.invariant_failures
+    );
+    assert!(report.submitted > 0, "no jobs admitted");
+    assert!(report.completed > 0, "nothing completed");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Sequential ≡ Sharded must survive a failover: running the
+/// leader-loss scenario under both driver modes (replication on for
+/// each, separate stores) yields byte-identical end-state digests.
+#[test]
+fn leader_loss_keeps_sequential_sharded_equivalence() {
+    let spec = maybe_smoke(ScenarioSpec::leader_loss(SEED));
+    let run = |driver: DriverMode, tag: &str| {
+        let dir = unique_temp_dir(&format!("scenario-fleet-ll-{tag}"));
+        let report = run_scenario(
+            &spec,
+            &ScenarioOptions {
+                driver,
+                replication: 2,
+                persist_dir: Some(dir.clone()),
+                ..ScenarioOptions::default()
+            },
+        );
+        std::fs::remove_dir_all(&dir).ok();
+        report
+    };
+    let sequential = run(DriverMode::Sequential, "seq");
+    let sharded = run(DriverMode::sharded(3), "shard");
+    assert_eq!(
+        sequential.digest, sharded.digest,
+        "driver modes diverged across the failover"
+    );
+}
+
 /// The adaptive loop pays: with the xfer-aware Optimizer migrating
 /// work off the loaded survivor after the heal, the chaos grid
 /// finishes sooner than with migration off. (The EXPERIMENTS.md
@@ -134,7 +190,7 @@ proptest! {
     #[test]
     fn sequential_and_sharded_schedules_are_byte_identical(
         seed in 0u64..1_000_000,
-        which in 0usize..4,
+        which in 0usize..5,
         threads in 2usize..5,
     ) {
         let spec = ScenarioSpec::all(seed).swap_remove(which).smoke();

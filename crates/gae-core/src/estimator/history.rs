@@ -8,6 +8,7 @@
 use gae_trace::{ParagonRecord, TaskMeta};
 use gae_types::SimDuration;
 use parking_lot::RwLock;
+use std::collections::VecDeque;
 
 /// One observed execution.
 #[derive(Clone, Debug, PartialEq)]
@@ -21,8 +22,11 @@ pub struct HistoryEntry {
 }
 
 /// A bounded, append-only history of `(task, runtime)` observations.
+/// The buffer is a ring: at capacity, evicting the oldest entry is
+/// O(1), so a long-running site pays the same for observation number
+/// ten million as for the first.
 pub struct HistoryStore {
-    entries: RwLock<Vec<HistoryEntry>>,
+    entries: RwLock<VecDeque<HistoryEntry>>,
     capacity: usize,
     next_seq: std::sync::atomic::AtomicU64,
 }
@@ -33,7 +37,7 @@ impl HistoryStore {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
         HistoryStore {
-            entries: RwLock::new(Vec::new()),
+            entries: RwLock::new(VecDeque::new()),
             capacity,
             next_seq: std::sync::atomic::AtomicU64::new(0),
         }
@@ -46,9 +50,9 @@ impl HistoryStore {
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut entries = self.entries.write();
         if entries.len() == self.capacity {
-            entries.remove(0);
+            entries.pop_front();
         }
-        entries.push(HistoryEntry { meta, runtime, seq });
+        entries.push_back(HistoryEntry { meta, runtime, seq });
     }
 
     /// Loads successful jobs from an accounting trace (failed jobs
@@ -121,6 +125,25 @@ mod tests {
         assert_eq!(h.len(), 3);
         let snap = h.snapshot();
         assert_eq!(snap[0].1 .0, SimDuration::from_secs(7));
+    }
+
+    #[test]
+    fn capacity_churn_stays_cheap() {
+        // Regression test for the old `Vec::remove(0)` eviction: a
+        // small ring churned far past capacity must stay exact (oldest
+        // out first, sequence monotonic) and fast. 50k observations
+        // through a 16-slot ring finishes instantly under the ring;
+        // the shifting eviction made this quadratic.
+        let h = HistoryStore::new(16);
+        for i in 0..50_000u64 {
+            h.observe(meta("churn"), SimDuration::from_secs(i));
+        }
+        assert_eq!(h.len(), 16);
+        let snap = h.snapshot();
+        for (k, (_, (rt, seq))) in snap.iter().enumerate() {
+            assert_eq!(*rt, SimDuration::from_secs(49_984 + k as u64));
+            assert_eq!(*seq, 49_984 + k as u64);
+        }
     }
 
     #[test]

@@ -13,8 +13,9 @@
 //! mean — the configuration used for Figure 5.
 
 use crate::estimator::history::HistoryStore;
-use gae_trace::{TaskMeta, TemplateHierarchy};
-use gae_types::{GaeError, GaeResult, SimDuration};
+use gae_hist::{ColumnPredicate, HistStore};
+use gae_trace::{Feature, TaskMeta, TemplateHierarchy};
+use gae_types::{GaeError, GaeResult, SimDuration, SiteId};
 
 /// Which statistical estimate to apply to the similar-task runtimes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -123,11 +124,73 @@ impl RuntimeEstimator {
                 meta.login
             )));
         }
-        // (runtime seconds, sequence) pairs in sequence order.
-        let mut points: Vec<(f64, f64)> = similar
+        // (sequence, runtime seconds) pairs in sequence order.
+        let points: Vec<(f64, f64)> = similar
             .iter()
             .map(|(rt, seq)| (*seq as f64, rt.as_secs_f64()))
             .collect();
+        self.estimate_from_points(tier, points)
+    }
+
+    /// Predicts from the columnar history store instead of the legacy
+    /// per-site ring. Each template tier becomes one predicate-pushdown
+    /// scan (`site`, `success`, plus an equality per feature); the
+    /// tier-selection rule, the point set, and the statistics are the
+    /// exact ones [`RuntimeEstimator::estimate`] computes, so the two
+    /// paths return bit-identical estimates for identical histories.
+    pub fn estimate_columnar(
+        &self,
+        store: &HistStore,
+        site: SiteId,
+        meta: &TaskMeta,
+    ) -> GaeResult<RuntimeEstimate> {
+        if store.site_successes(site.raw()) == 0 {
+            return Err(GaeError::Estimator("history is empty".into()));
+        }
+        let templates = self.hierarchy.templates();
+        let mut chosen: Option<(usize, Vec<(u64, u64)>)> = None;
+        for (i, tpl) in templates.iter().enumerate() {
+            let mut preds = vec![
+                ColumnPredicate::eq_num("site", site.raw()),
+                ColumnPredicate::eq_num("success", 1),
+            ];
+            for feature in tpl.features() {
+                preds.push(feature_predicate(*feature, meta));
+            }
+            let points = store.runtime_points(&preds)?;
+            let enough = points.len() >= self.min_matches.max(1);
+            chosen = Some((i, points));
+            if enough {
+                break;
+            }
+        }
+        let (tier, raw) = chosen.expect("hierarchy has at least one template");
+        if raw.is_empty() {
+            return Err(GaeError::Estimator(format!(
+                "no similar task in history for login {:?}",
+                meta.login
+            )));
+        }
+        // site_seq ascends in append order, mirroring the legacy seq.
+        let points: Vec<(f64, f64)> = raw
+            .iter()
+            .map(|(seq, rt_us)| {
+                (
+                    *seq as f64,
+                    SimDuration::from_micros(*rt_us).as_secs_f64(),
+                )
+            })
+            .collect();
+        self.estimate_from_points(tier, points)
+    }
+
+    /// The shared statistical tail: mean / OLS / hybrid over
+    /// `(sequence, runtime seconds)` points.
+    fn estimate_from_points(
+        &self,
+        tier: usize,
+        mut points: Vec<(f64, f64)>,
+    ) -> GaeResult<RuntimeEstimate> {
         points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
         let mean = points.iter().map(|(_, y)| y).sum::<f64>() / points.len() as f64;
         let (prediction, used_regression) = match self.method {
@@ -162,6 +225,19 @@ impl RuntimeEstimator {
             used_regression,
             std_dev_s,
         })
+    }
+}
+
+/// One similarity feature as a columnar equality predicate.
+fn feature_predicate(feature: Feature, meta: &TaskMeta) -> ColumnPredicate {
+    match feature {
+        Feature::Account => ColumnPredicate::eq_str("account", &meta.account),
+        Feature::Login => ColumnPredicate::eq_str("login", &meta.login),
+        Feature::Executable => ColumnPredicate::eq_str("executable", &meta.executable),
+        Feature::Queue => ColumnPredicate::eq_str("queue", &meta.queue),
+        Feature::Partition => ColumnPredicate::eq_str("partition", &meta.partition),
+        Feature::Nodes => ColumnPredicate::eq_num("nodes", meta.nodes as u64),
+        Feature::JobType => ColumnPredicate::eq_str("job_type", &meta.job_type.to_string()),
     }
 }
 
@@ -323,6 +399,71 @@ mod tests {
         // through; ultimately the last template matches it alone.
         let e = est.estimate(&meta("solo", "q", 1)).unwrap();
         assert_eq!(e.runtime, SimDuration::from_secs(300));
+    }
+
+    /// The retarget contract: the columnar path must reproduce the
+    /// legacy ring's estimates bit for bit — same tier, same samples,
+    /// same float — and its error messages verbatim.
+    #[test]
+    fn columnar_estimates_are_bit_identical_to_legacy() {
+        use gae_hist::{HistConfig, HistOp, HistRecord, HistStore};
+
+        let entries: &[(&str, u64)] = &[
+            ("alice", 100),
+            ("alice", 123),
+            ("bob", 9000),
+            ("alice", 140),
+            ("carol", 77),
+            ("alice", 161),
+        ];
+        let legacy = HistoryStore::new(1000);
+        let store = HistStore::new(HistConfig { segment_rows: 2 });
+        for (i, (login, rt)) in entries.iter().enumerate() {
+            legacy.observe(meta(login, "q", 1), SimDuration::from_secs(*rt));
+            store.apply(&HistOp::Append(HistRecord {
+                task: i as u64,
+                site: 1,
+                nodes: 1,
+                submit_us: 0,
+                start_us: 0,
+                finish_us: 0,
+                runtime_us: rt * 1_000_000,
+                success: true,
+                account: "a".into(),
+                login: (*login).into(),
+                executable: "x".into(),
+                queue: "q".into(),
+                partition: "p".into(),
+                job_type: "batch".into(),
+            }));
+        }
+        let est = RuntimeEstimator::new(legacy);
+        let site = SiteId::new(1);
+        for target in ["alice", "bob", "dave"] {
+            let m = meta(target, "q", 1);
+            let a = est.estimate(&m).unwrap();
+            let b = est.estimate_columnar(&store, site, &m).unwrap();
+            assert_eq!(a.template_tier, b.template_tier, "{target}");
+            assert_eq!(a.samples, b.samples, "{target}");
+            assert_eq!(a.used_regression, b.used_regression, "{target}");
+            assert_eq!(
+                a.runtime.as_secs_f64().to_bits(),
+                b.runtime.as_secs_f64().to_bits(),
+                "{target}"
+            );
+            assert_eq!(a.std_dev_s.to_bits(), b.std_dev_s.to_bits(), "{target}");
+        }
+        // Error parity: empty store and empty site both say what the
+        // legacy path says.
+        let empty = HistStore::new(HistConfig::default());
+        let err = est
+            .estimate_columnar(&empty, site, &meta("alice", "q", 1))
+            .unwrap_err();
+        assert!(err.to_string().contains("history is empty"), "{err}");
+        let err = est
+            .estimate_columnar(&store, SiteId::new(9), &meta("alice", "q", 1))
+            .unwrap_err();
+        assert!(err.to_string().contains("history is empty"), "{err}");
     }
 
     /// The headline property behind Figure 5: on a Downey-style

@@ -33,6 +33,11 @@ pub struct EstimatorService {
     memo: RwLock<HashMap<(SiteId, TaskMeta), RuntimeEstimate>>,
     memo_hits: AtomicU64,
     memo_misses: AtomicU64,
+    /// The columnar history funnel, when the stack wired one. With it
+    /// attached, [`Self::estimate_meta`] scans the shared columnar
+    /// store (predicate pushdown) instead of the per-site rings; the
+    /// rings still absorb observations as the bounded fallback.
+    hist: RwLock<Option<Arc<crate::hist::HistFunnel>>>,
 }
 
 impl EstimatorService {
@@ -58,7 +63,16 @@ impl EstimatorService {
             memo: RwLock::new(HashMap::new()),
             memo_hits: AtomicU64::new(0),
             memo_misses: AtomicU64::new(0),
+            hist: RwLock::new(None),
         }
+    }
+
+    /// Retargets runtime estimation onto the columnar history store.
+    /// Clears the memo cache: cached values were computed against the
+    /// rings.
+    pub(crate) fn attach_history(&self, hist: Arc<crate::hist::HistFunnel>) {
+        *self.hist.write() = Some(hist);
+        self.memo.write().clear();
     }
 
     /// Replaces one site's runtime estimator (ablation studies).
@@ -98,6 +112,30 @@ impl EstimatorService {
     /// Seeds a site's history from an accounting trace.
     pub fn seed_history(&self, site: SiteId, records: &[ParagonRecord]) -> GaeResult<usize> {
         let loaded = self.runtime_estimator(site)?.history().load_trace(records);
+        if let Some(hist) = self.hist.read().clone() {
+            // The columnar store takes every record — failures too,
+            // flagged on the success column — with the same Paragon
+            // field quirks `TaskMeta::from_record` applies (the trace
+            // has no executable column; the account stands in).
+            for r in records {
+                hist.ingest(gae_hist::HistRecord {
+                    task: 0,
+                    site: site.raw(),
+                    nodes: r.nodes as u64,
+                    submit_us: r.submitted.as_micros(),
+                    start_us: r.started.as_micros(),
+                    finish_us: r.completed.as_micros(),
+                    runtime_us: r.runtime().as_micros(),
+                    success: r.success,
+                    account: r.account.clone(),
+                    login: r.login.clone(),
+                    executable: r.account.clone(),
+                    queue: r.queue.clone(),
+                    partition: r.partition.clone(),
+                    job_type: r.job_type.to_string(),
+                });
+            }
+        }
         self.invalidate_site(site);
         Ok(loaded)
     }
@@ -123,7 +161,11 @@ impl EstimatorService {
             return Ok(*cached);
         }
         self.memo_misses.fetch_add(1, Ordering::Relaxed);
-        let estimate = self.runtime_estimator(site)?.estimate(meta)?;
+        let estimator = self.runtime_estimator(site)?;
+        let estimate = match self.hist.read().clone() {
+            Some(hist) => estimator.estimate_columnar(hist.store(), site, meta)?,
+            None => estimator.estimate(meta)?,
+        };
         self.memo.write().insert(key, estimate);
         Ok(estimate)
     }

@@ -852,6 +852,10 @@ pub struct ServiceStack {
     pub steering: Arc<SteeringService>,
     /// Admission control & overload protection for the front door.
     pub gate: Arc<Gate>,
+    /// Columnar job-history funnel: journals every terminal task
+    /// outcome into the append-only [`gae_hist::HistStore`] the
+    /// estimators scan.
+    pub hist: Arc<crate::hist::HistFunnel>,
     /// Observability: request traces, latency histograms, per-CondorId
     /// lifecycle timelines — all on the grid's virtual clock.
     obs: Arc<gae_obs::ObsHub>,
@@ -958,6 +962,13 @@ impl ServiceStack {
         let obs = gae_obs::ObsHub::new(Arc::new(GridObsClock(grid.clone())));
         steering.attach_obs(obs.clone());
         jobmon.attach_obs(obs.clone());
+        // The history funnel sits behind jobmon's DBManager: every
+        // terminal task state the collector stores is also appended to
+        // the columnar store, and the estimators retarget their
+        // similar-task search onto its pushdown scans.
+        let hist = crate::hist::HistFunnel::new(gae_hist::HistConfig::default());
+        jobmon.attach_history(hist.clone());
+        estimators.attach_history(hist.clone());
         {
             let hub = obs.clone();
             gate.set_disposition_observer(move |disposition, latency| {
@@ -1030,6 +1041,7 @@ impl ServiceStack {
             scheduler,
             steering,
             gate,
+            hist,
             obs,
             poll_period,
             next_poll: Mutex::new(SimTime::ZERO + poll_period),
@@ -1045,6 +1057,7 @@ impl ServiceStack {
     fn attach_persistence(&self, persistence: Arc<Persistence>) {
         self.jobmon.attach_persistence(persistence.clone());
         self.steering.attach_persistence(persistence.clone());
+        self.hist.attach_persistence(persistence.clone());
         {
             let p = persistence.clone();
             self.grid.with_xfer(|x| {
@@ -1148,6 +1161,10 @@ impl ServiceStack {
         }
         self.jobmon.poll();
         self.steering.poll();
+        // History maintenance rides the poll loop: seal a lingering
+        // tail and compact undersized segments on the virtual clock,
+        // each decision journaled before it is applied.
+        self.hist.maintain(self.grid.now());
         // Publish the estimator memo-cache counters (PR-1 perf work)
         // so dashboards and the `monalisa.*` RPC facade can watch hit
         // rates; keys are interned at construction.
@@ -1287,6 +1304,28 @@ impl ServiceStack {
         for (op, snap) in self.obs.repl_snapshot() {
             push_dist("repl_", &op, snap);
         }
+        for (method, snap) in self.obs.hist_snapshot() {
+            push_dist("hist_", &method, snap);
+        }
+        // History-store shape under entity "hist": pure functions of
+        // the store's contents (scan and op counters deliberately stay
+        // out — they reset across recovery and would fork the metric
+        // streams of otherwise-identical runs).
+        {
+            let hs = self.hist.store().stats();
+            let hist_entity: Arc<str> = Arc::from("hist");
+            for (param, value) in [
+                ("rows", hs.rows as f64),
+                ("sealed_segments", hs.sealed_segments as f64),
+                ("tail_rows", hs.tail_rows as f64),
+                ("dict_words", hs.dict_words as f64),
+            ] {
+                samples.push((
+                    MetricKey::new(SiteId::new(0), hist_entity.clone(), param),
+                    Sample { at, value },
+                ));
+            }
+        }
         // Replication counters under entity "repl" whenever a sink is
         // armed: quorum/leader commit indexes, follower liveness,
         // stream/ack/stall/install/election totals.
@@ -1326,6 +1365,7 @@ impl ServiceStack {
             balances: self.quota.balances_snapshot(),
             ledger: self.quota.ledger(),
             xfer: self.grid.with_xfer(|x| x.export()),
+            hist: self.hist.store().encode(),
         }
     }
 
@@ -1631,11 +1671,31 @@ mod tests {
         let spec =
             TaskSpec::new(TaskId::new(1), "t", "app").with_cpu_demand(SimDuration::from_secs(30));
         let meta = gae_trace::TaskMeta::from_spec(&spec);
-        // Seed enough history for estimation to succeed.
+        // Seed enough history for estimation to succeed. Stack-level
+        // estimates read the columnar store, so the seed rows go
+        // through the funnel; observe_completion still drives the
+        // ring and the memo invalidation.
+        let row = |m: &gae_trace::TaskMeta, secs: u64| gae_hist::HistRecord {
+            task: 0,
+            site: site.raw(),
+            nodes: m.nodes as u64,
+            submit_us: 0,
+            start_us: 0,
+            finish_us: 0,
+            runtime_us: secs * 1_000_000,
+            success: true,
+            account: m.account.clone(),
+            login: m.login.clone(),
+            executable: m.executable.clone(),
+            queue: m.queue.clone(),
+            partition: m.partition.clone(),
+            job_type: m.job_type.to_string(),
+        };
         for secs in [20u64, 25, 30, 35] {
             stack
                 .estimators
                 .observe_completion(site, meta.clone(), SimDuration::from_secs(secs));
+            stack.hist.ingest(row(&meta, secs));
         }
         let first = stack.estimators.estimate_runtime(site, &spec).unwrap();
         let (h0, m0) = stack.estimators.memo_stats();
@@ -1645,6 +1705,7 @@ mod tests {
         assert_eq!(h1, h0 + 1, "second identical estimate must hit the memo");
         assert_eq!(m1, m0);
         // A completion observation at the site invalidates its entries.
+        stack.hist.ingest(row(&meta, 90));
         stack
             .estimators
             .observe_completion(site, meta, SimDuration::from_secs(90));

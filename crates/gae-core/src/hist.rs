@@ -1,0 +1,351 @@
+//! The columnar job-history subsystem's service-side wiring: the
+//! [`HistFunnel`] that journals every store mutation through the WAL,
+//! and the [`HistoryRpc`] facade exposing `history.query` /
+//! `history.export` / `history.stats`.
+//!
+//! The funnel is the *only* writer of the [`gae_hist::HistStore`].
+//! Every op it applies is first appended as a `"hist"` WAL record
+//! (when persistence is attached), so the store's contents — segment
+//! boundaries included — are a pure function of the journal. Crash
+//! recovery and replication followers replay the same ops through
+//! [`HistFunnel::replay`] and rebuild byte-identical segments; see
+//! DESIGN.md §14.
+
+use crate::persist::{self, Persistence};
+use gae_hist::{CmpOp, ColumnPredicate, HistConfig, HistOp, HistRecord, HistStore, PredValue};
+use gae_obs::ObsHub;
+use gae_rpc::{CallContext, MethodInfo, Service};
+use gae_types::{GaeError, GaeResult, SimDuration, SimTime};
+use gae_wire::Value;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default cadence between maintenance sweeps (early tail seals and
+/// compaction), on the grid's virtual clock.
+const MAINTAIN_EVERY: SimDuration = SimDuration::from_secs(120);
+
+/// Default row cap for `history.query` replies without an explicit
+/// `limit` (scans still report the full match cardinality).
+const DEFAULT_QUERY_LIMIT: usize = 1000;
+
+/// Journal-fronted writer of the columnar history store.
+pub struct HistFunnel {
+    store: Arc<HistStore>,
+    persist: RwLock<Option<Arc<Persistence>>>,
+    maintain_every: SimDuration,
+    last_maintain: Mutex<SimTime>,
+}
+
+impl HistFunnel {
+    /// A funnel over a fresh, empty store.
+    pub fn new(config: HistConfig) -> Arc<Self> {
+        Arc::new(HistFunnel {
+            store: Arc::new(HistStore::new(config)),
+            persist: RwLock::new(None),
+            maintain_every: MAINTAIN_EVERY,
+            last_maintain: Mutex::new(SimTime::ZERO),
+        })
+    }
+
+    /// The store (read-only access: scans, stats, digests).
+    pub fn store(&self) -> &Arc<HistStore> {
+        &self.store
+    }
+
+    /// Routes every future op through the WAL as `"hist"` records.
+    pub(crate) fn attach_persistence(&self, persistence: Arc<Persistence>) {
+        *self.persist.write() = Some(persistence);
+    }
+
+    /// Journals `op` (when persistence is attached) and applies it.
+    fn log_apply(&self, op: HistOp) {
+        if let Some(p) = self.persist.read().as_ref() {
+            p.append("hist", persist::hist_to_record(&op));
+        }
+        self.store.apply(&op);
+    }
+
+    /// Appends one terminal task outcome (the jobmon funnel's feed).
+    pub fn ingest(&self, record: HistRecord) {
+        self.log_apply(HistOp::Append(record));
+    }
+
+    /// Applies a journaled op without re-logging — the WAL-replay and
+    /// follower path.
+    pub(crate) fn replay(&self, op: HistOp) {
+        self.store.apply(&op);
+    }
+
+    /// The grid-clock maintenance sweep, called from the service
+    /// stack's poll: every `maintain_every` of virtual time, seal a
+    /// non-empty tail early and compact undersized sealed segments.
+    /// Both decisions become explicit journaled ops *before* they are
+    /// applied, so replay reproduces the exact segment layout without
+    /// re-deriving any clock state.
+    pub(crate) fn maintain(&self, now: SimTime) {
+        {
+            let mut last = self.last_maintain.lock();
+            if now.saturating_since(*last) < self.maintain_every {
+                return;
+            }
+            *last = now;
+        }
+        if self.store.tail_rows() > 0 {
+            self.log_apply(HistOp::Seal);
+        }
+        if self.store.compactable() {
+            self.log_apply(HistOp::Compact);
+        }
+    }
+
+    /// Replaces the store's contents from snapshot bytes (restore
+    /// path; no logging).
+    pub(crate) fn restore(&self, bytes: &[u8]) -> GaeResult<()> {
+        self.store.restore(bytes)
+    }
+}
+
+/// XML-RPC facade over the history store, registered as the `history`
+/// service. Queries are read-only; mutation stays with the funnel.
+pub struct HistoryRpc {
+    funnel: Arc<HistFunnel>,
+    hub: Arc<ObsHub>,
+    /// Sequential query counter: the deterministic `hist.*` trace ids.
+    next_query: AtomicU64,
+}
+
+impl HistoryRpc {
+    /// Wraps the funnel for RPC registration.
+    pub fn new(funnel: Arc<HistFunnel>, hub: Arc<ObsHub>) -> Self {
+        HistoryRpc {
+            funnel,
+            hub,
+            next_query: AtomicU64::new(1),
+        }
+    }
+
+    fn query(&self, params: &[Value]) -> GaeResult<Value> {
+        let spec = params
+            .first()
+            .ok_or_else(|| GaeError::Parse("query({predicates, limit?})".into()))?;
+        let preds = parse_predicates(spec.member("predicates")?)?;
+        let limit = match spec.member("limit") {
+            Ok(v) => usize::try_from(v.as_u64()?)
+                .map_err(|_| GaeError::Parse("limit out of range".into()))?,
+            Err(_) => DEFAULT_QUERY_LIMIT,
+        };
+        let qid = self.next_query.fetch_add(1, Ordering::Relaxed);
+        let now = self.hub.now();
+        let (rows, stats) = self.funnel.store().query(&preds, limit)?;
+        // Span the scan's shape under a deterministic hist.* trace:
+        // how many segments the zone maps pruned, how many rows the
+        // scan actually visited, how many matched.
+        let ctx = self.hub.hist_trace(qid, "hist.query", now);
+        self.hub
+            .span_at(ctx, &format!("hist.prune#{}", stats.segments_pruned), now);
+        self.hub
+            .span_at(ctx, &format!("hist.scan#{}", stats.rows_scanned), now);
+        self.hub
+            .span_at(ctx, &format!("hist.match#{}", stats.rows_matched), now);
+        Ok(Value::struct_of([
+            (
+                "rows",
+                Value::Array(rows.iter().map(record_to_value).collect()),
+            ),
+            ("matched", Value::from(stats.rows_matched)),
+            ("segments", Value::from(stats.segments)),
+            ("segments_pruned", Value::from(stats.segments_pruned)),
+            ("rows_scanned", Value::from(stats.rows_scanned)),
+        ]))
+    }
+
+    fn export(&self) -> Value {
+        let store = self.funnel.store();
+        Value::struct_of([
+            ("bytes", Value::Base64(store.encode())),
+            ("digest", Value::from(store.digest())),
+            (
+                "segments",
+                Value::Array(
+                    store
+                        .segment_digests()
+                        .into_iter()
+                        .map(Value::from)
+                        .collect(),
+                ),
+            ),
+            ("tail_digest", Value::from(store.tail_digest())),
+        ])
+    }
+
+    fn stats(&self) -> Value {
+        let store = self.funnel.store();
+        let s = store.stats();
+        Value::struct_of([
+            ("rows", Value::from(s.rows)),
+            ("sealed_segments", Value::from(s.sealed_segments)),
+            ("tail_rows", Value::from(s.tail_rows)),
+            ("appends", Value::from(s.appends)),
+            ("seals", Value::from(s.seals)),
+            ("compactions", Value::from(s.compactions)),
+            ("scans", Value::from(s.scans)),
+            ("segments_pruned", Value::from(s.segments_pruned)),
+            ("rows_scanned", Value::from(s.rows_scanned)),
+            ("dict_words", Value::from(s.dict_words)),
+            ("digest", Value::from(store.digest())),
+        ])
+    }
+}
+
+impl Service for HistoryRpc {
+    fn name(&self) -> &'static str {
+        "history"
+    }
+
+    fn call(&self, _ctx: &CallContext, method: &str, params: &[Value]) -> GaeResult<Value> {
+        // Latencies are wall-clock: the point of the hist:* histograms
+        // is real scan cost, which the virtual clock cannot see. The
+        // determinism-equivalence suites never call this facade, so
+        // the nondeterministic numbers never enter compared state.
+        let started = std::time::Instant::now();
+        let out = match method {
+            "query" => self.query(params),
+            "export" => {
+                if !params.is_empty() {
+                    return Err(GaeError::Parse("export()".into()));
+                }
+                Ok(self.export())
+            }
+            "stats" => {
+                if !params.is_empty() {
+                    return Err(GaeError::Parse("stats()".into()));
+                }
+                Ok(self.stats())
+            }
+            other => return Err(gae_rpc::service::unknown_method("history", other)),
+        };
+        self.hub.record_hist(
+            method,
+            SimDuration::from_micros(started.elapsed().as_micros() as u64),
+        );
+        out
+    }
+
+    fn methods(&self) -> Vec<MethodInfo> {
+        vec![
+            MethodInfo {
+                name: "query",
+                help: "predicate-pushdown scan over the columnar job history",
+            },
+            MethodInfo {
+                name: "export",
+                help: "canonical binary encoding of the store, with segment digests",
+            },
+            MethodInfo {
+                name: "stats",
+                help: "row/segment/scan counters and the store digest",
+            },
+        ]
+    }
+}
+
+/// Parses the wire shape of a predicate list: an array of
+/// `{column, op, value}` structs, string values for dictionary
+/// columns and integers for numeric ones.
+fn parse_predicates(v: &Value) -> GaeResult<Vec<ColumnPredicate>> {
+    v.as_array()?
+        .iter()
+        .map(|p| {
+            let column = p.member("column")?.as_str()?.to_string();
+            let op = CmpOp::parse(p.member("op")?.as_str()?)?;
+            let raw = p.member("value")?;
+            let value = match raw.as_str() {
+                Ok(s) => PredValue::Str(s.to_string()),
+                Err(_) => PredValue::Num(raw.as_u64()?),
+            };
+            Ok(ColumnPredicate { column, op, value })
+        })
+        .collect()
+}
+
+fn record_to_value(r: &HistRecord) -> Value {
+    Value::struct_of([
+        ("task", Value::from(r.task)),
+        ("site", Value::from(r.site)),
+        ("nodes", Value::from(r.nodes)),
+        ("submit_us", Value::from(r.submit_us)),
+        ("start_us", Value::from(r.start_us)),
+        ("finish_us", Value::from(r.finish_us)),
+        ("runtime_us", Value::from(r.runtime_us)),
+        ("success", Value::Bool(r.success)),
+        ("account", Value::from(r.account.as_str())),
+        ("login", Value::from(r.login.as_str())),
+        ("executable", Value::from(r.executable.as_str())),
+        ("queue", Value::from(r.queue.as_str())),
+        ("partition", Value::from(r.partition.as_str())),
+        ("job_type", Value::from(r.job_type.as_str())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(task: u64, site: u64) -> HistRecord {
+        HistRecord {
+            task,
+            site,
+            nodes: 1,
+            submit_us: 0,
+            start_us: 0,
+            finish_us: 0,
+            runtime_us: 1_000_000,
+            success: true,
+            account: "a".into(),
+            login: "u".into(),
+            executable: "x".into(),
+            queue: "q".into(),
+            partition: "p".into(),
+            job_type: "batch".into(),
+        }
+    }
+
+    #[test]
+    fn maintain_is_cadence_gated_and_journal_free_ops_apply() {
+        let funnel = HistFunnel::new(HistConfig { segment_rows: 4 });
+        funnel.ingest(rec(1, 1));
+        funnel.ingest(rec(2, 1));
+        // Before the cadence elapses nothing seals.
+        funnel.maintain(SimTime::from_secs(1));
+        assert_eq!(funnel.store().stats().sealed_segments, 0);
+        funnel.maintain(SimTime::from_secs(300));
+        assert_eq!(funnel.store().stats().sealed_segments, 1);
+        assert_eq!(funnel.store().tail_rows(), 0);
+        // Within the same cadence window a second sweep is a no-op.
+        funnel.ingest(rec(3, 1));
+        funnel.maintain(SimTime::from_secs(310));
+        assert_eq!(funnel.store().stats().sealed_segments, 1);
+    }
+
+    #[test]
+    fn predicate_wire_parse_rejects_malformed_shapes() {
+        let ok = Value::Array(vec![Value::struct_of([
+            ("column", Value::from("site")),
+            ("op", Value::from("eq")),
+            ("value", Value::from(3u64)),
+        ])]);
+        assert_eq!(parse_predicates(&ok).unwrap().len(), 1);
+        let bad_op = Value::Array(vec![Value::struct_of([
+            ("column", Value::from("site")),
+            ("op", Value::from("gt")),
+            ("value", Value::from(3u64)),
+        ])]);
+        assert!(matches!(
+            parse_predicates(&bad_op),
+            Err(GaeError::Parse(_))
+        ));
+        let missing = Value::Array(vec![Value::struct_of([("column", Value::from("site"))])]);
+        assert!(parse_predicates(&missing).is_err());
+    }
+}

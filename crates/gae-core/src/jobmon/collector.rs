@@ -50,15 +50,32 @@ impl JobInformationCollector {
                 continue;
             };
             let info = self.info_from_record(site, record, &exec);
+            let meta = TaskMeta::from_spec(&record.spec);
             if event.status == TaskStatus::Completed {
-                self.estimators.observe_completion(
-                    site,
-                    TaskMeta::from_spec(&record.spec),
-                    record.total_accrued(),
-                );
+                self.estimators
+                    .observe_completion(site, meta.clone(), record.total_accrued());
             }
+            // Every terminal outcome — success or failure — becomes
+            // one columnar history row (scans filter on the success
+            // column when they want clean runtimes).
+            let row = gae_hist::HistRecord {
+                task: record.spec.id.raw(),
+                site: site.raw(),
+                nodes: meta.nodes as u64,
+                submit_us: record.submitted_at.as_micros(),
+                start_us: record.started_at.map(|t| t.as_micros()).unwrap_or(0),
+                finish_us: record.finished_at.map(|t| t.as_micros()).unwrap_or(0),
+                runtime_us: record.total_accrued().as_micros(),
+                success: event.status == TaskStatus::Completed,
+                account: meta.account,
+                login: meta.login,
+                executable: meta.executable,
+                queue: meta.queue,
+                partition: meta.partition,
+                job_type: meta.job_type.to_string(),
+            };
             drop(exec);
-            db.store(info);
+            db.store_with_history(info, row);
             // The task left the queue: its submission-time estimate is
             // dead weight in the §6.2 database from here on. Evicting
             // on the terminal-event replay keeps a long-running stack

@@ -5,8 +5,10 @@
 //! DBManager publishes the job monitoring information to MonALISA."
 //! (§5.4)
 
+use crate::hist::HistFunnel;
 use crate::jobmon::info::JobMonitoringInfo;
 use crate::persist::Persistence;
+use gae_hist::HistRecord;
 use gae_monitor::{JobEvent, MonAlisaRepository};
 use gae_types::{JobId, TaskId};
 use parking_lot::RwLock;
@@ -20,6 +22,7 @@ pub struct DbManager {
     monitor: Arc<MonAlisaRepository>,
     persist: RwLock<Option<Arc<Persistence>>>,
     obs: RwLock<Option<Arc<gae_obs::ObsHub>>>,
+    hist: RwLock<Option<Arc<HistFunnel>>>,
 }
 
 impl DbManager {
@@ -31,6 +34,7 @@ impl DbManager {
             monitor,
             persist: RwLock::new(None),
             obs: RwLock::new(None),
+            hist: RwLock::new(None),
         }
     }
 
@@ -42,6 +46,21 @@ impl DbManager {
     /// Routes lifecycle timelines and execution spans into the hub.
     pub(crate) fn attach_obs(&self, obs: Arc<gae_obs::ObsHub>) {
         *self.obs.write() = Some(obs);
+    }
+
+    /// Routes terminal task outcomes into the columnar history store.
+    pub(crate) fn attach_history(&self, hist: Arc<HistFunnel>) {
+        *self.hist.write() = Some(hist);
+    }
+
+    /// Stores the monitoring snapshot, then appends its columnar
+    /// history row — in that order, so the WAL records land as
+    /// `jobmon` then `hist` and replay applies them identically.
+    pub fn store_with_history(&self, info: JobMonitoringInfo, row: HistRecord) {
+        self.store(info);
+        if let Some(hist) = self.hist.read().clone() {
+            hist.ingest(row);
+        }
     }
 
     /// Stores (or refreshes) a snapshot, logs it to the WAL when
@@ -109,18 +128,16 @@ impl DbManager {
         self.snapshots.write().insert(info.task, info);
     }
 
-    /// Every stored snapshot: jobs id-sorted, tasks in insertion
-    /// order within each job. Deterministic, so it doubles as the
-    /// snapshot export and the crash-test digest.
+    /// Every stored snapshot, task-id-sorted. The sort key is total
+    /// and independent of insertion order, so Sequential and Sharded
+    /// driver runs — whose stores interleave differently — export
+    /// byte-identical documents, and so does a store rebuilt from a
+    /// snapshot. It doubles as the snapshot export and the crash-test
+    /// digest.
     pub fn export(&self) -> Vec<JobMonitoringInfo> {
-        let by_job = self.by_job.read();
-        let snapshots = self.snapshots.read();
-        let mut jobs: Vec<&JobId> = by_job.keys().collect();
-        jobs.sort();
-        jobs.into_iter()
-            .flat_map(|j| by_job[j].iter())
-            .filter_map(|t| snapshots.get(t).cloned())
-            .collect()
+        let mut out: Vec<JobMonitoringInfo> = self.snapshots.read().values().cloned().collect();
+        out.sort_by_key(|i| i.task);
+        out
     }
 
     /// The stored snapshot for a task, if any.

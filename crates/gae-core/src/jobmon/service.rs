@@ -103,6 +103,11 @@ impl JobMonitoringService {
         self.manager.db().attach_obs(obs);
     }
 
+    /// Routes terminal task outcomes into the columnar history store.
+    pub(crate) fn attach_history(&self, hist: Arc<crate::hist::HistFunnel>) {
+        self.manager.db().attach_history(hist);
+    }
+
     /// Deterministic export of the whole repository: jobs id-sorted,
     /// tasks in insertion order (snapshot encoding + crash digests).
     pub fn db_snapshot(&self) -> Vec<JobMonitoringInfo> {

@@ -55,6 +55,7 @@
 pub mod analysis_session;
 pub mod estimator;
 pub mod grid;
+pub mod hist;
 pub mod jobmon;
 pub mod monalisa;
 pub mod obs_rpc;
@@ -69,6 +70,7 @@ pub mod submit;
 pub use analysis_session::{AnalysisSessionRpc, AnalysisSessionStore};
 pub use estimator::EstimatorService;
 pub use grid::{DriverMode, Grid, GridBuilder, ServiceStack};
+pub use hist::{HistFunnel, HistoryRpc};
 pub use jobmon::JobMonitoringService;
 pub use monalisa::MonAlisaRpc;
 pub use obs_rpc::{StatsRpc, TraceRpc};

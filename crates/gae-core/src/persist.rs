@@ -13,7 +13,7 @@
 //! Rust's shortest-roundtrip `f64` formatting makes the encoding
 //! bit-exact, which the crash-equivalence tests rely on.
 //!
-//! Six record kinds exist:
+//! Seven record kinds exist:
 //!
 //! | kind       | payload                            | written by            |
 //! |------------|------------------------------------|-----------------------|
@@ -23,12 +23,14 @@
 //! | `notified` | job id                             | completion notice     |
 //! | `charge`   | one [`ChargeRecord`]               | accounting on settle  |
 //! | `xfer`     | one [`gae_xfer::JournalOp`]        | transfer scheduler    |
+//! | `hist`     | one [`gae_hist::HistOp`]           | history funnel        |
 
 use crate::jobmon::info::JobMonitoringInfo;
 use crate::quota::ChargeRecord;
 use crate::steering::state::{TaskPhase, TrackedJob, TrackedTask};
 use crate::submit::{job_from_value, job_to_value};
 use gae_durable::{DurableStore, Recovered, TailState};
+use gae_hist::{HistOp, HistRecord};
 use gae_monitor::{JobEvent, MetricKey, Sample};
 use gae_repl::frame;
 use gae_repl::ReplicationSink;
@@ -488,6 +490,58 @@ fn xfer_export_from_value(v: &Value) -> GaeResult<XferExport> {
     })
 }
 
+/// One history-store op as a WAL record. `append` carries the full
+/// row; `seal` and `compact` are bare markers — the store derives the
+/// resulting layout deterministically, so the marker alone replays to
+/// identical segments.
+pub(crate) fn hist_to_record(op: &HistOp) -> Value {
+    match op {
+        HistOp::Append(r) => Value::struct_of([
+            ("op", Value::from("append")),
+            ("task", Value::from(r.task)),
+            ("site", Value::from(r.site)),
+            ("nodes", Value::from(r.nodes)),
+            ("submit_us", Value::from(r.submit_us)),
+            ("start_us", Value::from(r.start_us)),
+            ("finish_us", Value::from(r.finish_us)),
+            ("runtime_us", Value::from(r.runtime_us)),
+            ("success", Value::Bool(r.success)),
+            ("account", Value::from(r.account.as_str())),
+            ("login", Value::from(r.login.as_str())),
+            ("executable", Value::from(r.executable.as_str())),
+            ("queue", Value::from(r.queue.as_str())),
+            ("partition", Value::from(r.partition.as_str())),
+            ("job_type", Value::from(r.job_type.as_str())),
+        ]),
+        HistOp::Seal => Value::struct_of([("op", Value::from("seal"))]),
+        HistOp::Compact => Value::struct_of([("op", Value::from("compact"))]),
+    }
+}
+
+pub(crate) fn hist_from_record(v: &Value) -> GaeResult<HistOp> {
+    Ok(match v.member("op")?.as_str()? {
+        "append" => HistOp::Append(HistRecord {
+            task: v.member("task")?.as_u64()?,
+            site: v.member("site")?.as_u64()?,
+            nodes: v.member("nodes")?.as_u64()?,
+            submit_us: v.member("submit_us")?.as_u64()?,
+            start_us: v.member("start_us")?.as_u64()?,
+            finish_us: v.member("finish_us")?.as_u64()?,
+            runtime_us: v.member("runtime_us")?.as_u64()?,
+            success: v.member("success")?.as_bool()?,
+            account: v.member("account")?.as_str()?.to_string(),
+            login: v.member("login")?.as_str()?.to_string(),
+            executable: v.member("executable")?.as_str()?.to_string(),
+            queue: v.member("queue")?.as_str()?.to_string(),
+            partition: v.member("partition")?.as_str()?.to_string(),
+            job_type: v.member("job_type")?.as_str()?.to_string(),
+        }),
+        "seal" => HistOp::Seal,
+        "compact" => HistOp::Compact,
+        other => return Err(GaeError::Parse(format!("unknown hist op {other:?}"))),
+    })
+}
+
 fn event_to_value(e: &JobEvent) -> Value {
     Value::struct_of([
         ("at_us", Value::from(e.at.as_micros())),
@@ -576,6 +630,9 @@ pub(crate) struct SnapshotState {
     pub balances: Vec<(UserId, f64)>,
     pub ledger: Vec<ChargeRecord>,
     pub xfer: XferExport,
+    /// The history store's own binary encoding (it has a canonical
+    /// columnar codec; re-encoding it as XML would lose the layout).
+    pub hist: Vec<u8>,
 }
 
 fn tracked_job_to_value(j: &TrackedJob) -> Value {
@@ -647,6 +704,7 @@ pub(crate) fn encode_snapshot(state: &SnapshotState) -> Vec<u8> {
             Value::Array(state.ledger.iter().map(charge_to_record).collect()),
         ),
         ("xfer", xfer_export_to_value(&state.xfer)),
+        ("hist", Value::Base64(state.hist.clone())),
     ]);
     write_value_document(&doc).into_bytes()
 }
@@ -703,6 +761,11 @@ pub(crate) fn decode_snapshot(bytes: &[u8]) -> GaeResult<SnapshotState> {
         xfer: match v.member("xfer") {
             Ok(x) => xfer_export_from_value(x)?,
             Err(_) => XferExport::default(),
+        },
+        // Likewise for snapshots predating the columnar history.
+        hist: match v.member("hist") {
+            Ok(h) => h.as_bytes()?.to_vec(),
+            Err(_) => Vec::new(),
         },
     })
 }
@@ -841,6 +904,7 @@ mod tests {
                     history_dropped: 7,
                 },
             },
+            hist: gae_hist::HistStore::new(gae_hist::HistConfig::default()).encode(),
         };
         let decoded = decode_snapshot(&encode_snapshot(&state)).unwrap();
         assert_eq!(decoded.events, state.events);
@@ -861,6 +925,7 @@ mod tests {
         );
         assert!(!j.completion_notified);
         assert_eq!(decoded.xfer, state.xfer);
+        assert_eq!(decoded.hist, state.hist);
     }
 
     #[test]
@@ -911,6 +976,32 @@ mod tests {
             ("site", Value::from(1u64)),
         ]);
         assert!(xfer_from_record(&bogus).is_err());
+    }
+
+    #[test]
+    fn hist_record_roundtrip_all_ops() {
+        let append = HistOp::Append(HistRecord {
+            task: 9,
+            site: 2,
+            nodes: 4,
+            submit_us: 1_000_000,
+            start_us: 2_000_000,
+            finish_us: 5_000_000,
+            runtime_us: 3_000_000,
+            success: true,
+            account: "cms".into(),
+            login: "alice".into(),
+            executable: "reco".into(),
+            queue: "prod".into(),
+            partition: "batch".into(),
+            job_type: "analysis".into(),
+        });
+        for op in [append, HistOp::Seal, HistOp::Compact] {
+            let decoded = hist_from_record(&hist_to_record(&op)).unwrap();
+            assert_eq!(decoded, op);
+        }
+        let bogus = Value::struct_of([("op", Value::from("truncate"))]);
+        assert!(hist_from_record(&bogus).is_err());
     }
 
     #[test]

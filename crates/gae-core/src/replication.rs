@@ -1,8 +1,8 @@
 //! The service stack as a replicated state machine.
 //!
-//! Satellite of DESIGN.md §13: the four ad-hoc replay paths —
-//! steering plans/tasks/notifications, jobmon info, quota charges,
-//! xfer journal ops — are one [`StateMachine`] here. Single-node
+//! Satellite of DESIGN.md §13: the ad-hoc replay paths — steering
+//! plans/tasks/notifications, jobmon info, quota charges, xfer
+//! journal ops, history-store ops — are one [`StateMachine`] here. Single-node
 //! recovery ([`ServiceStack::recover_from_disk`]) and replication
 //! followers drive the exact same code, which is why a promoted
 //! follower's rebuilt schedule is byte-identical to what the dead
@@ -49,6 +49,7 @@ impl StateMachine for ServiceStack {
                 let op = persist::xfer_from_record(body)?;
                 self.grid.with_xfer(|x| x.apply_journal(&op));
             }
+            "hist" => self.hist.replay(persist::hist_from_record(body)?),
             other => {
                 return Err(GaeError::Parse(format!(
                     "unknown wal record kind {other:?}"
@@ -89,6 +90,7 @@ impl StateMachine for ServiceStack {
         }
         self.quota.restore(snap.balances, snap.ledger);
         self.grid.with_xfer(|x| x.restore(&snap.xfer));
+        self.hist.restore(&snap.hist)?;
         Ok(())
     }
 }

@@ -20,6 +20,7 @@ pub struct ObsHub {
     gate: HistogramSet,
     xfer: HistogramSet,
     repl: HistogramSet,
+    hist: HistogramSet,
     timelines: TimelineStore,
     next_trace: AtomicU64,
 }
@@ -34,6 +35,7 @@ impl ObsHub {
             gate: HistogramSet::new(),
             xfer: HistogramSet::new(),
             repl: HistogramSet::new(),
+            hist: HistogramSet::new(),
             timelines: TimelineStore::new(),
             next_trace: AtomicU64::new(1),
         })
@@ -71,6 +73,12 @@ impl ObsHub {
     /// first use (derived from the leader's commit index).
     pub fn repl_trace(&self, commit_index: u64, name: &str, at: SimTime) -> TraceContext {
         self.traces.root(TraceId::for_repl(commit_index), name, at)
+    }
+
+    /// The deterministic trace of a history query, rooted on first use
+    /// (derived from the history facade's sequential query counter).
+    pub fn hist_trace(&self, query_id: u64, name: &str, at: SimTime) -> TraceContext {
+        self.traces.root(TraceId::for_hist(query_id), name, at)
     }
 
     /// Appends a child span under `ctx`.
@@ -133,6 +141,17 @@ impl ObsHub {
     /// Per-operation replication latency snapshots, op-sorted.
     pub fn repl_snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
         self.repl.snapshot()
+    }
+
+    /// Records one history-facade call's wall-clock service time under
+    /// its method (`query`, `export`, `stats`).
+    pub fn record_hist(&self, method: &str, latency: SimDuration) {
+        self.hist.record(method, latency);
+    }
+
+    /// Per-method history latency snapshots, method-sorted.
+    pub fn hist_snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.hist.snapshot()
     }
 
     // ---- timelines ----
@@ -200,6 +219,12 @@ impl ObsHub {
                 s.count, s.p50_us, s.p95_us, s.p99_us, s.max_us
             ));
         }
+        for (name, s) in self.hist_snapshot() {
+            out.push_str(&format!(
+                "hist:{name:<19} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
+                s.count, s.p50_us, s.p95_us, s.p99_us, s.max_us
+            ));
+        }
         out
     }
 }
@@ -241,11 +266,13 @@ mod tests {
         hub.record_gate("run", SimDuration::from_micros(3));
         hub.record_xfer("1->2", SimDuration::from_secs(8));
         hub.record_repl("commit", SimDuration::from_secs(15));
+        hub.record_hist("query", SimDuration::from_micros(700));
         let table = hub.render_histograms();
         assert!(table.contains("steer.submit"), "{table}");
         assert!(table.contains("gate:run"), "{table}");
         assert!(table.contains("xfer:1->2"), "{table}");
         assert!(table.contains("repl:commit"), "{table}");
+        assert!(table.contains("hist:query"), "{table}");
     }
 
     #[test]

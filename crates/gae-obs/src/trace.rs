@@ -31,6 +31,11 @@ const XFER_BIT: u64 = 1 << 62;
 /// above.
 const REPL_BIT: u64 = 1 << 61;
 
+/// Fourth-highest bit marks history-query trace ids (from the history
+/// facade's sequential query counter), disjoint from all the families
+/// above.
+const HIST_BIT: u64 = 1 << 60;
+
 impl TraceId {
     /// Wraps a raw id (door-minted counters start at 1).
     pub const fn new(raw: u64) -> Self {
@@ -53,6 +58,12 @@ impl TraceId {
     /// from the leader's commit index.
     pub const fn for_repl(commit_index: u64) -> Self {
         TraceId(commit_index | REPL_BIT)
+    }
+
+    /// The deterministic trace id of a history query, derived from the
+    /// history facade's sequential query counter.
+    pub const fn for_hist(query_id: u64) -> Self {
+        TraceId(query_id | HIST_BIT)
     }
 
     /// The raw id.
@@ -298,6 +309,15 @@ mod tests {
         assert_ne!(TraceId::for_repl(1), TraceId::for_condor(1));
         assert_ne!(TraceId::for_repl(1), TraceId::for_xfer(1));
         assert_eq!(TraceId::for_repl(5).raw() & !REPL_BIT, 5);
+    }
+
+    #[test]
+    fn hist_ids_are_disjoint_from_every_family() {
+        assert_ne!(TraceId::for_hist(1), TraceId::new(1));
+        assert_ne!(TraceId::for_hist(1), TraceId::for_condor(1));
+        assert_ne!(TraceId::for_hist(1), TraceId::for_xfer(1));
+        assert_ne!(TraceId::for_hist(1), TraceId::for_repl(1));
+        assert_eq!(TraceId::for_hist(5).raw() & !HIST_BIT, 5);
     }
 
     #[test]

@@ -213,6 +213,10 @@ fn serve(port: u16) {
     host.attach_obs(stack.obs());
     host.register(Arc::new(gae::core::TraceRpc::new(stack.obs())));
     host.register(Arc::new(gae::core::StatsRpc::new(stack.obs())));
+    host.register(Arc::new(gae::core::HistoryRpc::new(
+        stack.hist.clone(),
+        stack.obs(),
+    )));
     let catalog = gae::core::ReplicaCatalog::new(grid.clone());
     catalog.register(
         FileRef::new("lfn:/cms/demo-dataset.root", 250_000_000).with_replicas(vec![SiteId::new(2)]),

@@ -62,6 +62,7 @@ pub use gae_core as core;
 pub use gae_durable as durable;
 pub use gae_exec as exec;
 pub use gae_gate as gate;
+pub use gae_hist as hist;
 pub use gae_monitor as monitor;
 pub use gae_obs as obs;
 pub use gae_repl as repl;

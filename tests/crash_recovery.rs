@@ -18,8 +18,8 @@ use proptest::prelude::*;
 #[path = "harness/mod.rs"]
 mod harness;
 use harness::{
-    arb_scenario, build_grid, corrupt_store, digest, driver_for, persisted_run, reference_digests,
-    Scenario,
+    arb_scenario, build_grid, corrupt_store, digest, driver_for, estimate_probe, persisted_run,
+    reference_digests, reference_stack_at, Scenario,
 };
 
 proptest! {
@@ -257,6 +257,17 @@ fn recovered_stack_runs_to_completion() {
     assert_eq!(report.commit_index, 3, "three run_until commit points");
     assert!(!report.tail_was_torn);
     assert!(!report.used_fallback);
+
+    // The recovered columnar history drives the same estimates as the
+    // uncrashed reference at the same commit point — segment digests
+    // match (via `digest`), and so do the estimates derived from them.
+    let reference = reference_stack_at(&scenario, 3);
+    assert_eq!(digest(&stack), digest(&reference));
+    assert_eq!(
+        estimate_probe(&stack),
+        estimate_probe(&reference),
+        "recovered history store produced different estimates"
+    );
 
     // Finish the work: every tracked task must settle.
     stack.run_until(SimTime::from_secs(400));

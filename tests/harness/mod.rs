@@ -160,7 +160,8 @@ pub fn submit_workload(scenario: &Scenario, stack: &ServiceStack) {
 /// A deterministic digest of everything the durability contract
 /// promises to reconstruct: the job repository, the retained MonALISA
 /// event log and eviction counter, the steering tracker (minus Condor
-/// ids, which are legitimately reissued on re-arm), and accounting.
+/// ids, which are legitimately reissued on re-arm), accounting, and
+/// the columnar job history (store digest plus per-segment digests).
 /// Metric *series* are snapshot-only by contract and excluded.
 pub fn digest(stack: &ServiceStack) -> String {
     use std::fmt::Write;
@@ -211,7 +212,41 @@ pub fn digest(stack: &ServiceStack) -> String {
     for c in stack.quota.ledger() {
         writeln!(out, "charge {c:?}").unwrap();
     }
+    let hist = stack.hist.store();
+    writeln!(out, "hist rows={} digest={}", hist.rows(), hist.digest()).unwrap();
+    for (i, seg) in hist.segment_digests().iter().enumerate() {
+        writeln!(out, "hist seg {i} {seg}").unwrap();
+    }
+    writeln!(out, "hist tail {}", hist.tail_digest()).unwrap();
     out
+}
+
+/// Reference stack (sequential driver, no persistence) driven to the
+/// given commit point — for comparing *derived* state, like runtime
+/// estimates, against a recovered or promoted stack at that commit.
+pub fn reference_stack_at(scenario: &Scenario, steps: u64) -> Arc<ServiceStack> {
+    let stack = ServiceStack::over(build_grid(scenario, DriverMode::Sequential, None));
+    submit_workload(scenario, &stack);
+    for step in 1..=steps {
+        stack.run_until(SimTime::from_secs(step * scenario.step_secs));
+    }
+    stack
+}
+
+/// The runtime estimate each site gives for a fixed probe task,
+/// Debug-formatted with errors included — sites with no history must
+/// agree on the error too. Estimates are a pure function of the
+/// columnar history store, so two stacks whose digests match must
+/// also agree here.
+pub fn estimate_probe(stack: &ServiceStack) -> Vec<String> {
+    let spec = TaskSpec::new(TaskId::new(999_999), "probe", "app")
+        .with_cpu_demand(SimDuration::from_secs(30));
+    stack
+        .grid
+        .site_ids()
+        .into_iter()
+        .map(|site| format!("{site} {:?}", stack.estimators.estimate_runtime(site, &spec)))
+        .collect()
 }
 
 /// Reference run (no persistence, sequential driver): the digest at

@@ -19,7 +19,8 @@ use proptest::prelude::*;
 #[path = "harness/mod.rs"]
 mod harness;
 use harness::{
-    arb_scenario, build_grid, digest, driver_for, reference_digests, submit_workload, Scenario,
+    arb_scenario, build_grid, digest, driver_for, estimate_probe, reference_digests,
+    reference_stack_at, submit_workload, Scenario,
 };
 
 /// Runs the replicated leader for `kill_after` commit points, kills
@@ -105,6 +106,16 @@ proptest! {
             kill_after,
             promotion.node,
             scenario
+        );
+        // The promoted follower's history store is byte-identical to
+        // the reference (checked via the segment digests in `digest`),
+        // so the estimates it derives must be identical too.
+        let reference = reference_stack_at(&scenario, j as u64);
+        prop_assert_eq!(
+            estimate_probe(&stack),
+            estimate_probe(&reference),
+            "promoted follower produced different estimates at commit {}",
+            j
         );
         // Every resubmitted task must have been re-armed into the
         // Submitted phase of the recovered tracker, exactly once.

@@ -1,0 +1,167 @@
+//! Event-heap sweeps (DESIGN.md §15): the O(log K) heap peek against
+//! the retained O(K) linear scan inside `XferScheduler` at 16→1024
+//! concurrent transfers, and the cached cross-site next-event index
+//! against the lock-every-site scan in `Grid::next_event_time` at
+//! 64→1024 sites. The acceptance floor — heap ≥10× over the scan at
+//! 1024 concurrent transfers — is asserted directly, best-of-5 each
+//! side, after checking both sides return the same answer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gae_core::{Grid, GridBuilder};
+use gae_sim::{Link, NetworkModel};
+use gae_types::{SimDuration, SiteDescription, SiteId, TaskId, TaskSpec};
+use gae_xfer::{XferConfig, XferScheduler};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const SITES: u64 = 64;
+
+/// A scheduler with `k` transfers draining concurrently, fanned over
+/// a 64-site mesh so per-link membership mirrors real staging load.
+fn contended_scheduler(k: u64) -> XferScheduler {
+    let network = NetworkModel::new(Link::new(1e6, SimDuration::ZERO));
+    let mut x = XferScheduler::new(
+        network,
+        (1..=SITES).map(SiteId::new),
+        XferConfig::with_defaults(),
+    );
+    for i in 0..k {
+        let src = SiteId::new(i % SITES + 1);
+        let dst = SiteId::new((i + SITES / 2) % SITES + 1);
+        let f = gae_types::FileRef::new(format!("f{i}"), 1_000_000 + i * 1_000)
+            .with_replicas(vec![src]);
+        x.register(&f);
+        x.replicate(&format!("f{i}"), dst).expect("distinct sites");
+    }
+    x
+}
+
+/// `n` free sites with four queued tasks each — the state the driver
+/// loop interrogates between events.
+fn driver_grid(n: u64) -> Arc<Grid> {
+    let mut builder = GridBuilder::new();
+    for s in 1..=n {
+        builder = builder.site(SiteDescription::new(SiteId::new(s), format!("s{s}"), 2, 2));
+    }
+    let grid = builder.build();
+    for s in 1..=n {
+        for k in 0..4u64 {
+            let spec = TaskSpec::new(TaskId::new(s * 10 + k), format!("t{s}-{k}"), "app")
+                .with_cpu_demand(SimDuration::from_secs((s + k) % 300 + 60));
+            grid.submit(SiteId::new(s), spec, None).expect("free site");
+        }
+    }
+    grid
+}
+
+fn bench_xfer_next_event(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xfer_next_event");
+    for k in [16u64, 64, 256, 1024] {
+        let x = contended_scheduler(k);
+        group.bench_with_input(BenchmarkId::new("naive_scan", k), &k, |b, _| {
+            b.iter(|| black_box(x.naive_next_event()))
+        });
+        let mut xm = contended_scheduler(k);
+        group.bench_with_input(BenchmarkId::new("heap", k), &k, |b, _| {
+            b.iter(|| black_box(xm.next_event_time()))
+        });
+    }
+    group.finish();
+
+    // The acceptance floor, measured directly at 1024 concurrent
+    // transfers. Agreement first: the heap must answer exactly what
+    // the scan answers before its speed counts for anything.
+    let x = contended_scheduler(1024);
+    let mut xm = contended_scheduler(1024);
+    assert_eq!(
+        x.naive_next_event(),
+        xm.heap_next_event(),
+        "heap and naive scan diverged"
+    );
+    let best = |f: &mut dyn FnMut() -> u64| {
+        (0..5)
+            .map(|_| {
+                let started = std::time::Instant::now();
+                black_box(f());
+                started.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    const CALLS: u64 = 1_000;
+    let slow = best(&mut || {
+        let mut acc = 0u64;
+        for _ in 0..CALLS {
+            acc ^= x.naive_next_event().map_or(0, |(t, id)| t.as_micros() ^ id);
+        }
+        acc
+    });
+    let fast = best(&mut || {
+        let mut acc = 0u64;
+        for _ in 0..CALLS {
+            acc ^= xm.next_event_time().map_or(0, |t| t.as_micros());
+        }
+        acc
+    });
+    let ratio = slow.as_secs_f64() / fast.as_secs_f64().max(1e-9);
+    println!(
+        "xfer heap speedup over naive scan at 1024 transfers: {ratio:.1}x \
+         ({:?} vs {:?} per {CALLS} calls)",
+        slow, fast
+    );
+    assert!(
+        ratio >= 10.0,
+        "heap must be ≥10x faster than the linear scan at 1024 transfers, got {ratio:.1}x"
+    );
+}
+
+fn bench_grid_next_event(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_next_event");
+    for n in [64u64, 256, 1024] {
+        let grid = driver_grid(n);
+        assert_eq!(
+            grid.next_event_time(),
+            grid.next_event_time_uncached(),
+            "cached index diverged from the site scan"
+        );
+        group.bench_with_input(BenchmarkId::new("uncached_scan", n), &n, |b, _| {
+            b.iter(|| black_box(grid.next_event_time_uncached()))
+        });
+        group.bench_with_input(BenchmarkId::new("cached", n), &n, |b, _| {
+            b.iter(|| black_box(grid.next_event_time()))
+        });
+    }
+    group.finish();
+
+    let grid = driver_grid(1024);
+    let best = |f: &mut dyn FnMut() -> u64| {
+        (0..5)
+            .map(|_| {
+                let started = std::time::Instant::now();
+                black_box(f());
+                started.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    const CALLS: u64 = 1_000;
+    let slow = best(&mut || {
+        (0..CALLS)
+            .map(|_| grid.next_event_time_uncached().map_or(0, |t| t.as_micros()))
+            .fold(0, |a, b| a ^ b)
+    });
+    let fast = best(&mut || {
+        (0..CALLS)
+            .map(|_| grid.next_event_time().map_or(0, |t| t.as_micros()))
+            .fold(0, |a, b| a ^ b)
+    });
+    let ratio = slow.as_secs_f64() / fast.as_secs_f64().max(1e-9);
+    println!(
+        "grid cached next-event speedup over per-site scan at 1024 sites: {ratio:.1}x \
+         ({:?} vs {:?} per {CALLS} calls)",
+        slow, fast
+    );
+}
+
+criterion_group!(benches, bench_xfer_next_event, bench_grid_next_event);
+criterion_main!(benches);

@@ -174,12 +174,7 @@ impl RuntimeEstimator {
         // site_seq ascends in append order, mirroring the legacy seq.
         let points: Vec<(f64, f64)> = raw
             .iter()
-            .map(|(seq, rt_us)| {
-                (
-                    *seq as f64,
-                    SimDuration::from_micros(*rt_us).as_secs_f64(),
-                )
-            })
+            .map(|(seq, rt_us)| (*seq as f64, SimDuration::from_micros(*rt_us).as_secs_f64()))
             .collect();
         self.estimate_from_points(tier, points)
     }

@@ -26,7 +26,8 @@ use gae_types::{
 };
 use gae_xfer::{XferConfig, XferScheduler, XferUpdate};
 use parking_lot::{Mutex, RwLock};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::Arc;
 
 /// How [`Grid::advance_to`] fans work across the sites.
@@ -78,6 +79,53 @@ struct SiteMetricKeys {
     node_keys: Vec<(MetricKey, MetricKey)>,
 }
 
+/// Cross-site next-event index. Every execution service pushes its
+/// cached next-event instant here through a notifier installed at
+/// build time, so the driver's [`Grid::next_event_time`] costs one
+/// heap peek instead of locking and scanning every site per loop
+/// iteration. Same lazy-invalidation discipline as the per-service
+/// heaps: `current` is authoritative, heap entries are live only
+/// while they still match it (DESIGN.md §15).
+#[derive(Default)]
+struct NextEventIndex {
+    /// Authoritative per-site next event (absent = site is idle).
+    current: BTreeMap<SiteId, SimTime>,
+    /// Lazy min-heap over `current`, keyed `(instant, site)` so ties
+    /// resolve by site id — deterministic in both driver modes.
+    heap: BinaryHeap<Reverse<(SimTime, SiteId)>>,
+    /// Memoised combined (sites + transfer plane) answer; cleared by
+    /// any site notification and by every transfer-plane mutation.
+    cached: Option<Option<SimTime>>,
+}
+
+impl NextEventIndex {
+    /// Records a site's new next-event instant (or its draining).
+    fn note(&mut self, site: SiteId, next: Option<SimTime>) {
+        match next {
+            Some(t) => {
+                self.current.insert(site, t);
+                self.heap.push(Reverse((t, site)));
+            }
+            None => {
+                self.current.remove(&site);
+            }
+        }
+        self.cached = None;
+    }
+
+    /// Earliest live site event, pruning entries whose site has since
+    /// re-notified with a different instant or gone idle.
+    fn site_min(&mut self) -> Option<SimTime> {
+        while let Some(&Reverse((t, site))) = self.heap.peek() {
+            if self.current.get(&site) == Some(&t) {
+                return Some(t);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+}
+
 /// The execution fabric: sites + monitoring + network, one clock.
 pub struct Grid {
     sites: BTreeMap<SiteId, Arc<Mutex<ExecutionService>>>,
@@ -92,6 +140,10 @@ pub struct Grid {
     metric_keys: BTreeMap<SiteId, SiteMetricKeys>,
     /// The managed data plane: every inter-site byte moves through it.
     xfer: Mutex<XferScheduler>,
+    /// Cached cross-site next-event minimum, fed by per-site
+    /// notifiers; shared (`Arc`) because those notifier closures
+    /// capture it without holding the grid itself.
+    next_index: Arc<Mutex<NextEventIndex>>,
     /// Sequential or sharded advancement (fixed at build time).
     driver: DriverMode,
     /// Where a service stack over this grid should persist itself.
@@ -236,6 +288,17 @@ impl GridBuilder {
             sites.keys().copied(),
             self.xfer.unwrap_or_else(XferConfig::with_defaults),
         );
+        // Wire every site's next-event notifier into the shared index
+        // before the grid goes live; installation synchronously
+        // reports the service's current answer, so the index starts
+        // consistent even for sites built with queued state.
+        let next_index = Arc::new(Mutex::new(NextEventIndex::default()));
+        for (id, site) in &sites {
+            let idx = next_index.clone();
+            let sid = *id;
+            site.lock()
+                .set_event_notifier(Box::new(move |next| idx.lock().note(sid, next)));
+        }
         let grid = Arc::new(Grid {
             sites,
             descriptions,
@@ -245,6 +308,7 @@ impl GridBuilder {
             flock_partners: RwLock::new(BTreeMap::new()),
             metric_keys,
             xfer: Mutex::new(xfer),
+            next_index,
             driver: self.driver,
             persist_config: self.persist,
             gate_config: self.gate,
@@ -357,6 +421,11 @@ impl Grid {
             let result = f(&mut xfer);
             (result, xfer.drain_updates())
         };
+        // The closure may have moved transfer-plane events; the memo
+        // over the combined minimum is no longer trustworthy. (Site
+        // notifiers fired by the updates below clear it again, but
+        // pins-only mutations produce no updates.)
+        self.next_index.lock().cached = None;
         self.apply_xfer_updates(updates);
         result
     }
@@ -402,21 +471,38 @@ impl Grid {
     }
 
     /// Ground-truth input staging time at a site: sequential transfer
-    /// of every missing input from its nearest replica. Files with no
-    /// replica anywhere are produced by the job itself and cost
-    /// nothing.
-    pub fn staging_time(&self, site: SiteId, spec: &TaskSpec) -> gae_types::SimDuration {
-        spec.input_files
+    /// of every missing input from its nearest *reachable* replica.
+    /// Files with no replica anywhere are produced by the job itself
+    /// and cost nothing; replicas behind dead or zero-bandwidth links
+    /// are skipped, and a file whose every replica is unreachable is
+    /// the estimator's typed error — not a finite time over a link
+    /// that cannot carry the bytes.
+    pub fn staging_time(&self, site: SiteId, spec: &TaskSpec) -> GaeResult<SimDuration> {
+        let xfer = self.xfer.lock();
+        let mut total = SimDuration::ZERO;
+        for f in spec
+            .input_files
             .iter()
             .filter(|f| !f.available_at(site) && !f.replicas.is_empty())
-            .map(|f| {
-                f.replicas
-                    .iter()
-                    .map(|src| self.network.transfer_time(*src, site, f.size_bytes))
-                    .min()
-                    .expect("non-empty replicas")
-            })
-            .sum()
+        {
+            let best = f
+                .replicas
+                .iter()
+                .filter(|src| !xfer.link_blocked(**src, site))
+                .map(|src| self.network.transfer_time(*src, site, f.size_bytes))
+                .min();
+            match best {
+                Some(t) => total += t,
+                None => {
+                    return Err(GaeError::Estimator(format!(
+                        "{} has no reachable replica to stage to {site} (of {})",
+                        f.logical_name,
+                        f.replicas.len()
+                    )))
+                }
+            }
+        }
+        Ok(total)
     }
 
     /// Whether a site's execution service answers.
@@ -429,7 +515,33 @@ impl Grid {
 
     /// The earliest pending completion across all sites and the
     /// transfer plane.
+    ///
+    /// O(1) when nothing changed since the last call: the combined
+    /// minimum is memoised and invalidated only by mutation (site
+    /// notifiers, [`Grid::with_xfer`]), so the driver's idle loop no
+    /// longer re-locks every site. Lock order is index → xfer; site
+    /// notifiers take exec → index; nothing takes xfer → exec or
+    /// xfer → index, so the three pairs cannot cycle.
     pub fn next_event_time(&self) -> Option<SimTime> {
+        let mut idx = self.next_index.lock();
+        if let Some(memo) = idx.cached {
+            return memo;
+        }
+        let site_event = idx.site_min();
+        let xfer_event = self.xfer.lock().next_event_time();
+        let next = match (site_event, xfer_event) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        idx.cached = Some(next);
+        next
+    }
+
+    /// The same answer by brute force — lock and scan every site plus
+    /// the transfer plane. Retained as the differential oracle for the
+    /// cached index and as the bench baseline; not for the hot path.
+    #[doc(hidden)]
+    pub fn next_event_time_uncached(&self) -> Option<SimTime> {
         let site_event = self
             .sites
             .values()
@@ -1415,10 +1527,16 @@ impl ServiceStack {
             }
             let next_poll = *self.next_poll.lock();
             if next_poll <= now {
-                // The clock moved past a due poll (e.g. the caller
-                // advanced the grid directly); catch up first.
+                // The clock moved past one or more due polls (e.g.
+                // the caller advanced the grid directly); catch up
+                // once, then realign to the original cadence: the
+                // next poll stays on the `poll_period` grid anchored
+                // at stack construction, so the same workload polls
+                // at the same instants no matter who moved the clock.
                 self.poll();
-                *self.next_poll.lock() = now + self.poll_period;
+                let period = self.poll_period.as_micros().max(1);
+                let missed = now.saturating_since(next_poll).as_micros() / period + 1;
+                *self.next_poll.lock() = next_poll + SimDuration::from_micros(missed * period);
                 continue;
             }
             let mut target = t.min(next_poll);
@@ -1662,6 +1780,121 @@ mod tests {
         stack.run_until(SimTime::from_secs(120));
         let info = stack.jobmon.job_info(TaskId::new(1)).unwrap();
         assert_eq!(info.status, TaskStatus::Completed);
+    }
+
+    /// Three-site grid where site 3 has a deliberately fast link to
+    /// site 1 (so the buggy raw-minimum would prefer it) and site 2 a
+    /// slow one.
+    fn staging_grid() -> Arc<Grid> {
+        let mut network = gae_sim::NetworkModel::new(gae_sim::Link::new(1e6, SimDuration::ZERO));
+        network.set_link(
+            SiteId::new(3),
+            SiteId::new(1),
+            gae_sim::Link::new(1e8, SimDuration::ZERO),
+        );
+        GridBuilder::new()
+            .network(network)
+            .site(SiteDescription::new(SiteId::new(1), "dest", 2, 1))
+            .site(SiteDescription::new(SiteId::new(2), "slow-src", 2, 1))
+            .site(SiteDescription::new(SiteId::new(3), "fast-src", 2, 1))
+            .build()
+    }
+
+    fn staged_spec() -> TaskSpec {
+        TaskSpec::new(TaskId::new(1), "t", "x").with_inputs(vec![gae_types::FileRef::new(
+            "data.root",
+            100_000_000,
+        )
+        .with_replicas(vec![SiteId::new(2), SiteId::new(3)])])
+    }
+
+    #[test]
+    fn staging_time_skips_dead_links() {
+        let grid = staging_grid();
+        let spec = staged_spec();
+        // Both sources live: the fast 3→1 link (1 s) wins.
+        assert_eq!(
+            grid.staging_time(SiteId::new(1), &spec).unwrap(),
+            SimDuration::from_secs(1)
+        );
+        // Kill the fast link: the oracle must fall back to the live
+        // slow source (100 s), not keep quoting the dead fast one.
+        grid.with_xfer(|x| x.fail_link(SiteId::new(3), SiteId::new(1)));
+        assert_eq!(
+            grid.staging_time(SiteId::new(1), &spec).unwrap(),
+            SimDuration::from_secs(100)
+        );
+    }
+
+    #[test]
+    fn staging_time_with_no_reachable_replica_is_typed_error() {
+        let grid = staging_grid();
+        let spec = staged_spec();
+        grid.with_xfer(|x| {
+            x.fail_link(SiteId::new(2), SiteId::new(1));
+            x.fail_link(SiteId::new(3), SiteId::new(1));
+        });
+        let err = grid.staging_time(SiteId::new(1), &spec).unwrap_err();
+        assert!(
+            matches!(err, GaeError::Estimator(_)),
+            "want the estimator's typed unreachable convention, got {err}"
+        );
+        // A file already resident at the destination costs nothing
+        // even when every link is down.
+        let local =
+            TaskSpec::new(TaskId::new(2), "t2", "x").with_inputs(vec![gae_types::FileRef::new(
+                "local.root",
+                1,
+            )
+            .with_replicas(vec![SiteId::new(1)])]);
+        assert_eq!(
+            grid.staging_time(SiteId::new(1), &local).unwrap(),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn staging_time_skips_zero_bandwidth_links() {
+        // The fast source sits behind a hand-built zero-bandwidth
+        // link: reachable per the replica catalogue, useless per the
+        // fabric. The oracle must quote the slow-but-live source.
+        let mut network = gae_sim::NetworkModel::new(gae_sim::Link::new(1e6, SimDuration::ZERO));
+        network.set_link(
+            SiteId::new(3),
+            SiteId::new(1),
+            gae_sim::Link {
+                bandwidth_bps: 0.0,
+                latency: SimDuration::ZERO,
+            },
+        );
+        let grid = GridBuilder::new()
+            .network(network)
+            .site(SiteDescription::new(SiteId::new(1), "dest", 2, 1))
+            .site(SiteDescription::new(SiteId::new(2), "slow-src", 2, 1))
+            .site(SiteDescription::new(SiteId::new(3), "zero-src", 2, 1))
+            .build();
+        assert_eq!(
+            grid.staging_time(SiteId::new(1), &staged_spec()).unwrap(),
+            SimDuration::from_secs(100)
+        );
+    }
+
+    #[test]
+    fn cached_next_event_matches_uncached_scan() {
+        let grid = loaded_grid(DriverMode::Sequential);
+        assert_eq!(grid.next_event_time(), grid.next_event_time_uncached());
+        for step in 1..=8u64 {
+            grid.advance_to(SimTime::from_secs(step * 3));
+            assert_eq!(
+                grid.next_event_time(),
+                grid.next_event_time_uncached(),
+                "at step {step}"
+            );
+        }
+        // Settled: both agree there is nothing left.
+        grid.advance_to(SimTime::from_secs(300));
+        assert_eq!(grid.next_event_time(), None);
+        assert_eq!(grid.next_event_time_uncached(), None);
     }
 
     #[test]

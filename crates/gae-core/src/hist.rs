@@ -341,10 +341,7 @@ mod tests {
             ("op", Value::from("gt")),
             ("value", Value::from(3u64)),
         ])]);
-        assert!(matches!(
-            parse_predicates(&bad_op),
-            Err(GaeError::Parse(_))
-        ));
+        assert!(matches!(parse_predicates(&bad_op), Err(GaeError::Parse(_))));
         let missing = Value::Array(vec![Value::struct_of([("column", Value::from("site"))])]);
         assert!(parse_predicates(&missing).is_err());
     }

@@ -22,7 +22,19 @@ use gae_types::{
     CondorId, GaeError, GaeResult, NodeId, Priority, SimDuration, SimTime, SiteDescription, SiteId,
     TaskId, TaskSpec, TaskStatus,
 };
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Event kinds ordering pending-event heap entries at equal instants:
+/// completions run before staging arrivals so a freshly staged task
+/// can dispatch into the just-freed slot.
+const KIND_COMPLETION: u8 = 0;
+const KIND_STAGING: u8 = 1;
+
+/// Callback invoked whenever the site's next-event time changes; the
+/// grid uses it to maintain its cross-site minimum without re-locking
+/// every site per driver iteration.
+pub type NextEventNotifier = Box<dyn Fn(Option<SimTime>) + Send + Sync>;
 
 /// Configuration of one execution site.
 #[derive(Clone, Debug)]
@@ -63,6 +75,17 @@ pub struct ExecutionService {
     /// Tasks still staging their input files: Condor id → instant the
     /// transfer completes and the task enters the queue.
     staging_until: HashMap<CondorId, SimTime>,
+    /// Min-heap of pending events keyed `(time, kind, condor)`, with
+    /// lazy invalidation: an entry is live only while the matching map
+    /// (`planned_finish` / `staging_until`) still holds exactly that
+    /// instant for that task. Replaces the per-iteration min-scan of
+    /// both maps.
+    event_heap: BinaryHeap<Reverse<(SimTime, u8, CondorId)>>,
+    /// Cached `next_event_time` answer, kept fresh by `refresh_next`
+    /// at the end of every mutating public entry point.
+    last_next: Option<SimTime>,
+    /// Fires on every `last_next` change (grid next-event index).
+    notifier: Option<NextEventNotifier>,
     next_condor: u64,
     now: SimTime,
     alive: bool,
@@ -111,6 +134,9 @@ impl ExecutionService {
             by_task: HashMap::new(),
             planned_finish: HashMap::new(),
             staging_until: HashMap::new(),
+            event_heap: BinaryHeap::new(),
+            last_next: None,
+            notifier: None,
             next_condor: 1,
             now: SimTime::ZERO,
             alive: true,
@@ -194,10 +220,13 @@ impl ExecutionService {
             self.dispatch();
         } else {
             record.status = TaskStatus::Pending;
-            self.staging_until.insert(condor, self.now + stage_in);
+            let until = self.now + stage_in;
+            self.staging_until.insert(condor, until);
+            self.schedule(until, KIND_STAGING, condor);
             self.emit(&record, TaskStatus::Pending, "staging input files");
             self.records.insert(condor, record);
         }
+        self.refresh_next();
         Ok(condor)
     }
 
@@ -227,6 +256,8 @@ impl ExecutionService {
         match self.staging_until.get_mut(&condor) {
             Some(slot) => {
                 *slot = until;
+                self.schedule(until, KIND_STAGING, condor);
+                self.refresh_next();
                 Ok(())
             }
             None => Err(GaeError::NotFound(format!("{condor} is not staging"))),
@@ -252,6 +283,7 @@ impl ExecutionService {
             TaskStatus::Failed,
             &format!("input staging failed: {reason}"),
         );
+        self.refresh_next();
         Ok(())
     }
 
@@ -330,6 +362,7 @@ impl ExecutionService {
                 finish = self.nodes[node_idx].finish_time(self.now, rec.remaining());
             }
             self.planned_finish.insert(entry.condor, finish);
+            self.schedule(finish, KIND_COMPLETION, entry.condor);
             let rec = self.records[&entry.condor].clone();
             self.emit(&rec, TaskStatus::Running, "dispatched");
         }
@@ -369,71 +402,83 @@ impl ExecutionService {
 
     // ---- time advancement ----
 
+    /// Installs the next-event-change notifier and immediately syncs
+    /// it with the current value. The callback runs under the
+    /// service's lock: it must only touch independent state (the
+    /// grid's next-event index), never this service or the grid.
+    pub fn set_event_notifier(&mut self, notifier: NextEventNotifier) {
+        notifier(self.last_next);
+        self.notifier = Some(notifier);
+    }
+
     /// The next instant something happens: a running task completes
-    /// or a staging transfer finishes.
+    /// or a staging transfer finishes. O(1): the answer is cached and
+    /// refreshed on every mutation.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        let finish = self.planned_finish.values().min().copied();
-        let staged = self.staging_until.values().min().copied();
-        match (finish, staged) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
+        self.last_next
+    }
+
+    /// Pushes a pending-event heap entry.
+    fn schedule(&mut self, at: SimTime, kind: u8, condor: CondorId) {
+        self.event_heap.push(Reverse((at, kind, condor)));
+    }
+
+    /// Peeks the earliest live heap entry, discarding stale ones (the
+    /// matching map no longer holds that instant for that task).
+    fn peek_event(&mut self) -> Option<(SimTime, u8, CondorId)> {
+        while let Some(&Reverse((te, kind, condor))) = self.event_heap.peek() {
+            let live = if kind == KIND_COMPLETION {
+                self.planned_finish.get(&condor) == Some(&te)
+            } else {
+                self.staging_until.get(&condor) == Some(&te)
+            };
+            if live {
+                return Some((te, kind, condor));
+            }
+            self.event_heap.pop();
+        }
+        None
+    }
+
+    /// Recomputes the cached next-event answer and tells the notifier
+    /// when it moved. Every mutating public entry point ends here.
+    fn refresh_next(&mut self) {
+        let next = self.peek_event().map(|(te, ..)| te);
+        if next != self.last_next {
+            self.last_next = next;
+            if let Some(notify) = &self.notifier {
+                notify(next);
+            }
         }
     }
 
     /// Advances virtual time to `t`, processing completions and
     /// staging arrivals (and the queue starts they trigger) in exact
-    /// order. Completions at the same instant run first so a freshly
-    /// staged task can dispatch into the freed slot.
+    /// order. The heap key `(time, kind, condor)` reproduces the
+    /// historical selection rule: ties at the same instant break
+    /// completion-first (so a freshly staged task can dispatch into
+    /// the freed slot), then by Condor id — never by HashMap
+    /// iteration order, since the completion sequence feeds the event
+    /// log and the estimator histories.
     pub fn advance_to(&mut self, t: SimTime) {
         assert!(t >= self.now, "cannot advance backwards");
-        loop {
-            // Ties at the same instant break by Condor id, not by
-            // HashMap iteration order: the completion sequence feeds
-            // the event log and the estimator histories, so it must
-            // be identical from run to run.
-            let next_finish = self
-                .planned_finish
-                .iter()
-                .min_by_key(|(c, time)| (**time, **c))
-                .map(|(c, time)| (*c, *time));
-            let next_staged = self
-                .staging_until
-                .iter()
-                .min_by_key(|(c, time)| (**time, **c))
-                .map(|(c, time)| (*c, *time));
-            let completion_first = match (next_finish, next_staged) {
-                (Some((_, tf)), Some((_, ts))) => tf <= ts,
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (None, None) => {
-                    self.accrue_all_to(t);
-                    self.now = t;
-                    return;
-                }
-            };
-            if completion_first {
-                let (condor, tf) = next_finish.expect("checked");
-                if tf > t {
-                    self.accrue_all_to(t);
-                    self.now = t;
-                    return;
-                }
-                self.accrue_all_to(tf);
-                self.now = tf;
+        while let Some((te, kind, condor)) = self.peek_event() {
+            if te > t {
+                break;
+            }
+            self.event_heap.pop();
+            self.accrue_all_to(te);
+            self.now = te;
+            if kind == KIND_COMPLETION {
                 self.complete(condor);
                 self.dispatch();
             } else {
-                let (condor, ts) = next_staged.expect("checked");
-                if ts > t {
-                    self.accrue_all_to(t);
-                    self.now = t;
-                    return;
-                }
-                self.accrue_all_to(ts);
-                self.now = ts;
                 self.finish_staging(condor);
             }
         }
+        self.accrue_all_to(t);
+        self.now = t;
+        self.refresh_next();
     }
 
     /// Brings every running task's accrual up to `t`.
@@ -505,6 +550,7 @@ impl ExecutionService {
         }
         let rec = self.records[&condor].clone();
         self.emit(&rec, TaskStatus::Suspended, "suspended");
+        self.refresh_next();
         Ok(())
     }
 
@@ -527,6 +573,7 @@ impl ExecutionService {
                 let remaining = rec.remaining();
                 let finish = self.nodes[(node_id.raw() - 1) as usize].finish_time(now, remaining);
                 self.planned_finish.insert(condor, finish);
+                self.schedule(finish, KIND_COMPLETION, condor);
                 let rec = self.records[&condor].clone();
                 self.emit(&rec, TaskStatus::Running, "resumed");
             }
@@ -539,6 +586,7 @@ impl ExecutionService {
                 self.dispatch();
             }
         }
+        self.refresh_next();
         Ok(())
     }
 
@@ -568,6 +616,7 @@ impl ExecutionService {
         let rec = self.records[&condor].clone();
         self.emit(&rec, TaskStatus::Killed, "killed by steering command");
         self.dispatch();
+        self.refresh_next();
         Ok(())
     }
 
@@ -623,6 +672,7 @@ impl ExecutionService {
         let rec = self.records[&condor].clone();
         self.emit(&rec, TaskStatus::Migrating, "removed for migration");
         self.dispatch();
+        self.refresh_next();
         Ok((spec, checkpoint))
     }
 
@@ -654,6 +704,7 @@ impl ExecutionService {
         }
         self.nodes[idx].fail();
         self.dispatch();
+        self.refresh_next();
         Ok(())
     }
 
@@ -668,6 +719,7 @@ impl ExecutionService {
         if !self.nodes[idx].is_alive() {
             self.nodes[idx].recover();
             self.dispatch();
+            self.refresh_next();
         }
         Ok(())
     }
@@ -696,6 +748,7 @@ impl ExecutionService {
         for node in &mut self.nodes {
             node.fail();
         }
+        self.refresh_next();
     }
 
     /// Brings the site back up; only downed nodes are reset.
@@ -707,6 +760,7 @@ impl ExecutionService {
             }
         }
         self.dispatch();
+        self.refresh_next();
     }
 
     // ---- queries ----
@@ -789,6 +843,18 @@ impl ExecutionService {
     /// All records, unordered (monitoring sweep).
     pub fn records(&self) -> impl Iterator<Item = &TaskRecord> {
         self.records.values()
+    }
+
+    /// The pre-heap min-scan over both pending maps, retained as the
+    /// differential oracle for the cached heap answer.
+    #[cfg(test)]
+    fn naive_next_event_time(&self) -> Option<SimTime> {
+        let finish = self.planned_finish.values().min().copied();
+        let staged = self.staging_until.values().min().copied();
+        match (finish, staged) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Removes and returns all events emitted since the last drain.
@@ -1405,6 +1471,104 @@ mod tests {
             svc.status(c).unwrap(),
             TaskStatus::Failed,
             "no resurrection"
+        );
+    }
+
+    #[test]
+    fn completion_beats_staging_at_same_instant() {
+        // One slot: a 20 s task runs while another stages until
+        // exactly 20 s. The completion must fire first so the staged
+        // task queues into the freed slot at the same instant.
+        let mut svc = free_service();
+        let a = svc.submit(task(1, 20), None).unwrap();
+        let b = svc
+            .submit_staged(task(2, 5), None, SimDuration::from_secs(20))
+            .unwrap();
+        svc.advance_to(SimTime::from_secs(20));
+        assert_eq!(svc.status(a).unwrap(), TaskStatus::Completed);
+        assert_eq!(svc.status(b).unwrap(), TaskStatus::Running);
+        assert_eq!(
+            svc.record(b).unwrap().started_at,
+            Some(SimTime::from_secs(20))
+        );
+        let events = svc.drain_events();
+        let completed_a = events
+            .iter()
+            .position(|e| e.condor == a && e.status == TaskStatus::Completed)
+            .unwrap();
+        let queued_b = events
+            .iter()
+            .position(|e| e.condor == b && e.status == TaskStatus::Queued)
+            .unwrap();
+        assert!(completed_a < queued_b, "completion processed first");
+    }
+
+    #[test]
+    fn cached_next_event_matches_naive_scan_across_mutations() {
+        let mut svc = ExecutionService::new(SiteConfig::free(site(1, 2, 2)));
+        macro_rules! check {
+            () => {
+                assert_eq!(svc.next_event_time(), svc.naive_next_event_time())
+            };
+        }
+        check!();
+        let a = svc.submit(task(1, 40), None).unwrap();
+        check!();
+        let b = svc
+            .submit_staged(task(2, 10), None, SimDuration::from_secs(7))
+            .unwrap();
+        check!();
+        let c = svc.submit(task(3, 25), None).unwrap();
+        check!();
+        svc.advance_to(SimTime::from_secs(5));
+        check!();
+        svc.restage(b, SimTime::from_secs(12)).unwrap();
+        check!();
+        svc.suspend(a).unwrap();
+        check!();
+        svc.advance_to(SimTime::from_secs(13));
+        check!();
+        svc.resume(a).unwrap();
+        check!();
+        svc.kill(c).unwrap();
+        check!();
+        let d = svc
+            .submit_staged(task(4, 10), None, SimDuration::from_secs(30))
+            .unwrap();
+        check!();
+        let _ = svc.remove_for_migration(d).unwrap();
+        check!();
+        svc.fail_node(NodeId::new(1)).unwrap();
+        check!();
+        svc.recover_node(NodeId::new(1)).unwrap();
+        check!();
+        svc.advance_to(SimTime::from_secs(200));
+        check!();
+        assert_eq!(svc.next_event_time(), None, "all work settled");
+        svc.fail_site();
+        check!();
+        svc.recover_site();
+        check!();
+    }
+
+    #[test]
+    fn event_notifier_fires_on_next_event_changes() {
+        use std::sync::{Arc, Mutex};
+        let seen: Arc<Mutex<Vec<Option<SimTime>>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut svc = free_service();
+        let sink = seen.clone();
+        svc.set_event_notifier(Box::new(move |next| sink.lock().unwrap().push(next)));
+        let _a = svc.submit(task(1, 30), None).unwrap();
+        svc.advance_to(SimTime::from_secs(30));
+        svc.advance_to(SimTime::from_secs(40)); // no change: no callback
+        let seen = seen.lock().unwrap();
+        assert_eq!(
+            *seen,
+            vec![
+                None,                         // sync at install
+                Some(SimTime::from_secs(30)), // dispatch planned the finish
+                None,                         // completion drained the heap
+            ]
         );
     }
 

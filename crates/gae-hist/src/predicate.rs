@@ -107,10 +107,17 @@ impl ColumnPredicate {
 /// A predicate resolved against the schema and dictionaries.
 #[derive(Clone, Debug)]
 pub(crate) enum Compiled {
-    Num { col: usize, op: CmpOp, v: u64 },
+    Num {
+        col: usize,
+        op: CmpOp,
+        v: u64,
+    },
     /// String equality; `None` means the word was never interned, so
     /// no row anywhere can match.
-    StrEq { col: usize, code: Option<u32> },
+    StrEq {
+        col: usize,
+        code: Option<u32>,
+    },
 }
 
 impl Compiled {

@@ -67,7 +67,10 @@ pub fn resolve_column(name: &str) -> Option<ColumnRef> {
     if let Some(i) = NUM_COLUMNS.iter().position(|c| *c == name) {
         return Some(ColumnRef::Num(i));
     }
-    STR_COLUMNS.iter().position(|c| *c == name).map(ColumnRef::Str)
+    STR_COLUMNS
+        .iter()
+        .position(|c| *c == name)
+        .map(ColumnRef::Str)
 }
 
 /// One terminal task outcome, as the jobmon funnel hands it over.

@@ -132,7 +132,8 @@ impl Segment {
     /// The CRC-32 of the canonical encoding, as 8 hex digits — the
     /// unit the crash/failover identity checks compare.
     pub fn digest(&self) -> String {
-        let mut bytes = Vec::with_capacity(self.rows() * (NUM_COLUMNS.len() * 8 + STR_COLUMNS.len() * 4) + 4);
+        let mut bytes =
+            Vec::with_capacity(self.rows() * (NUM_COLUMNS.len() * 8 + STR_COLUMNS.len() * 4) + 4);
         self.encode_into(&mut bytes);
         format!("{:08x}", gae_durable::crc32::crc32(&bytes))
     }

@@ -291,7 +291,8 @@ impl HistStore {
             Self::scan_segment(&g.tail, &g.dicts, &compiled, &mut stats, &mut on_row);
         }
         self.scans.fetch_add(1, Ordering::Relaxed);
-        self.scan_rows.fetch_add(stats.rows_scanned, Ordering::Relaxed);
+        self.scan_rows
+            .fetch_add(stats.rows_scanned, Ordering::Relaxed);
         self.scan_pruned
             .fetch_add(stats.segments_pruned, Ordering::Relaxed);
         Ok(stats)
@@ -404,7 +405,12 @@ impl HistStore {
 
     /// Per-sealed-segment digests, in segment order.
     pub fn segment_digests(&self) -> Vec<String> {
-        self.inner.read().sealed.iter().map(Segment::digest).collect()
+        self.inner
+            .read()
+            .sealed
+            .iter()
+            .map(Segment::digest)
+            .collect()
     }
 
     /// Digest of the active tail (`"-"` when empty).
@@ -564,7 +570,13 @@ mod tests {
     fn codec_roundtrip_preserves_digests_and_counters() {
         let s = small_store(3);
         for t in 0..8 {
-            s.apply(&HistOp::Append(rec(t, t % 3, &format!("u{}", t % 2), t, t % 4 != 0)));
+            s.apply(&HistOp::Append(rec(
+                t,
+                t % 3,
+                &format!("u{}", t % 2),
+                t,
+                t % 4 != 0,
+            )));
         }
         s.apply(&HistOp::Seal);
         let bytes = s.encode();

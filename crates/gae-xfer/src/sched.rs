@@ -16,7 +16,8 @@ use crate::{
 };
 use gae_sim::NetworkModel;
 use gae_types::{FileRef, GaeError, GaeResult, SimDuration, SimTime, SiteId};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
 /// One logical file: its size and the sites holding a replica.
 struct FileEntry {
@@ -49,6 +50,10 @@ struct Transfer {
     state: TState,
     chain: Option<u64>,
     source_pinned: bool,
+    /// Generation stamp: a heap entry for this transfer is live only
+    /// while its recorded generation matches. Every reschedule bumps
+    /// the stamp, lazily invalidating older entries.
+    gen: u64,
 }
 
 /// One task's input-staging chain: transfers run sequentially, every
@@ -80,6 +85,17 @@ pub struct XferScheduler {
     files: BTreeMap<String, FileEntry>,
     stores: BTreeMap<SiteId, SiteStore>,
     transfers: BTreeMap<u64, Transfer>,
+    /// Min-heap of `(due, transfer-id, generation)` over every
+    /// scheduled internal event, with lazy invalidation: an entry is
+    /// live only while the transfer exists, is not `Waiting`, and its
+    /// generation matches. Active-transfer due times are *absolute*
+    /// and stay valid across fluid integration while the link's
+    /// membership is unchanged (all members drain at the same rate),
+    /// so only membership changes force a link-wide reschedule.
+    events: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    /// Active transfers indexed by directed link — the fair-share
+    /// denominator, maintained instead of recounted per query.
+    active: BTreeMap<(SiteId, SiteId), BTreeSet<u64>>,
     next_id: u64,
     chains: BTreeMap<u64, Chain>,
     chain_of: BTreeMap<(SiteId, u64), u64>,
@@ -110,6 +126,8 @@ impl XferScheduler {
             files: BTreeMap::new(),
             stores: BTreeMap::new(),
             transfers: BTreeMap::new(),
+            events: BinaryHeap::new(),
+            active: BTreeMap::new(),
             next_id: 1,
             chains: BTreeMap::new(),
             chain_of: BTreeMap::new(),
@@ -174,6 +192,94 @@ impl XferScheduler {
         }
         let bw = self.network.link(from, to).bandwidth_bps;
         !(bw.is_finite() && bw > 0.0)
+    }
+
+    // ---- event heap ----
+
+    /// The absolute instant this transfer's next internal event is
+    /// due under the current link membership, or `None` while it is
+    /// waiting in a chain.
+    fn due_of(&self, id: u64) -> Option<SimTime> {
+        let t = self.transfers.get(&id)?;
+        match t.state {
+            TState::Active => {
+                let link = self.network.link(t.from, t.to);
+                let n = self
+                    .active
+                    .get(&(t.from, t.to))
+                    .map_or(1, |s| s.len())
+                    .max(1) as f64;
+                Some(self.now + SimDuration::from_secs_f64(t.remaining * n / link.bandwidth_bps))
+            }
+            TState::Latency { until } | TState::Backoff { until } => Some(until),
+            TState::Waiting => None,
+        }
+    }
+
+    /// Re-stamps the transfer and pushes a fresh heap entry for its
+    /// current due time; stale entries die by generation mismatch.
+    fn reschedule(&mut self, id: u64) {
+        let due = self.due_of(id);
+        let Some(t) = self.transfers.get_mut(&id) else {
+            return;
+        };
+        t.gen += 1;
+        if let Some(due) = due {
+            let gen = t.gen;
+            self.events.push(Reverse((due, id, gen)));
+        }
+    }
+
+    /// Reschedules every active transfer on a directed link — the
+    /// fair-share denominator changed, so every member's absolute
+    /// due time moved.
+    fn reschedule_link(&mut self, from: SiteId, to: SiteId) {
+        let ids: Vec<u64> = self
+            .active
+            .get(&(from, to))
+            .into_iter()
+            .flatten()
+            .copied()
+            .collect();
+        for id in ids {
+            self.reschedule(id);
+        }
+    }
+
+    /// Adds a freshly activated transfer to its link's active set and
+    /// reschedules the whole link (itself included).
+    fn mark_active(&mut self, id: u64) {
+        let (from, to) = {
+            let t = &self.transfers[&id];
+            (t.from, t.to)
+        };
+        self.active.entry((from, to)).or_default().insert(id);
+        self.reschedule_link(from, to);
+    }
+
+    /// Removes a transfer from its link's active set (if present) and
+    /// reschedules the members left behind.
+    fn unmark_active(&mut self, id: u64, from: SiteId, to: SiteId) {
+        let Some(set) = self.active.get_mut(&(from, to)) else {
+            return;
+        };
+        if !set.remove(&id) {
+            return;
+        }
+        if set.is_empty() {
+            self.active.remove(&(from, to));
+        }
+        self.reschedule_link(from, to);
+    }
+
+    /// Removes a transfer from the table, unhooking it from the
+    /// active index first when it was draining.
+    fn detach(&mut self, id: u64) -> Option<Transfer> {
+        let t = self.transfers.remove(&id)?;
+        if t.state == TState::Active {
+            self.unmark_active(id, t.from, t.to);
+        }
+        Some(t)
     }
 
     // ---- catalog surface ----
@@ -339,6 +445,8 @@ impl XferScheduler {
                     .expect("live transfer")
                     .source_pinned = false;
             }
+            // Leaving the old link changes its fair share either way.
+            self.unmark_active(id, site, to);
             match self.pick_source(lfn, to) {
                 Some(new_from) => {
                     {
@@ -348,6 +456,7 @@ impl XferScheduler {
                         t.source_pinned = true;
                     }
                     self.store_mut(new_from).pin(lfn);
+                    self.mark_active(id);
                     self.emit(XferEvent::Resourced {
                         id,
                         from: new_from,
@@ -491,7 +600,7 @@ impl XferScheduler {
             .chain(chain.queue.drain(..))
             .collect();
         for id in ids {
-            if let Some(t) = self.transfers.remove(&id) {
+            if let Some(t) = self.detach(id) {
                 if t.source_pinned {
                     self.store_mut(t.from).unpin(&t.lfn);
                 }
@@ -541,6 +650,10 @@ impl XferScheduler {
             .map(|(id, _)| *id)
             .collect();
         let max = self.config.retry.max_attempts;
+        // Every active transfer on the link is a victim, so the whole
+        // active set empties at once — no per-victim fair-share
+        // reschedule churn.
+        self.active.remove(&(from, to));
         for id in ids {
             let (lfn, pinned, attempts) = {
                 let t = &self.transfers[&id];
@@ -572,6 +685,7 @@ impl XferScheduler {
                 let until = self.now + backoff;
                 self.transfers.get_mut(&id).expect("live transfer").state =
                     TState::Backoff { until };
+                self.reschedule(id);
                 self.counters.retried += 1;
                 self.emit(XferEvent::Retried {
                     id,
@@ -597,10 +711,7 @@ impl XferScheduler {
 
     /// Transfers currently draining over the directed link.
     pub fn active_on(&self, from: SiteId, to: SiteId) -> usize {
-        self.transfers
-            .values()
-            .filter(|t| t.from == from && t.to == to && t.state == TState::Active)
-            .count()
+        self.active.get(&(from, to)).map_or(0, |s| s.len())
     }
 
     // ---- transfer engine ----
@@ -629,6 +740,7 @@ impl XferScheduler {
                 state: TState::Waiting,
                 chain,
                 source_pinned: false,
+                gen: 0,
             },
         );
         id
@@ -733,6 +845,7 @@ impl XferScheduler {
                 let until = self.now + backoff;
                 self.transfers.get_mut(&id).expect("live transfer").state =
                     TState::Backoff { until };
+                self.reschedule(id);
                 self.counters.retried += 1;
                 self.emit(XferEvent::Retried {
                     id,
@@ -753,6 +866,7 @@ impl XferScheduler {
                 t.source_pinned = true;
             }
             self.store_mut(from).pin(&lfn);
+            self.mark_active(id);
             if first {
                 self.emit(XferEvent::Started {
                     id,
@@ -766,7 +880,7 @@ impl XferScheduler {
     }
 
     fn land(&mut self, id: u64) {
-        let mut t = self.transfers.remove(&id).expect("live transfer");
+        let mut t = self.detach(id).expect("live transfer");
         if t.source_pinned {
             self.store_mut(t.from).unpin(&t.lfn);
             t.source_pinned = false;
@@ -968,17 +1082,41 @@ impl XferScheduler {
     // ---- time ----
 
     fn active_counts(&self) -> BTreeMap<(SiteId, SiteId), usize> {
-        let mut m = BTreeMap::new();
-        for t in self.transfers.values() {
-            if t.state == TState::Active {
-                *m.entry((t.from, t.to)).or_insert(0usize) += 1;
-            }
-        }
-        m
+        self.active
+            .iter()
+            .map(|(link, ids)| (*link, ids.len()))
+            .collect()
     }
 
-    fn next_internal_event(&self) -> Option<(SimTime, u64)> {
-        let counts = self.active_counts();
+    /// Peeks the earliest live heap entry, discarding stale ones
+    /// (dead transfer, generation mismatch, or back in `Waiting`) on
+    /// the way. O(log K) amortised versus the old O(K) scan.
+    fn next_internal_event(&mut self) -> Option<(SimTime, u64)> {
+        while let Some(&Reverse((due, id, gen))) = self.events.peek() {
+            match self.transfers.get(&id) {
+                Some(t) if t.gen == gen && t.state != TState::Waiting => {
+                    return Some((due, id));
+                }
+                _ => {
+                    self.events.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// The original O(K) linear scan over every transfer, retained as
+    /// the differential oracle for the event heap and as the bench
+    /// baseline (`naive-oracle` feature). Recomputes each active due
+    /// time from `remaining` instead of trusting the heap.
+    #[cfg(any(test, feature = "naive-oracle"))]
+    pub fn naive_next_event(&self) -> Option<(SimTime, u64)> {
+        let mut counts: BTreeMap<(SiteId, SiteId), usize> = BTreeMap::new();
+        for t in self.transfers.values() {
+            if t.state == TState::Active {
+                *counts.entry((t.from, t.to)).or_insert(0usize) += 1;
+            }
+        }
         let mut best: Option<(SimTime, u64)> = None;
         for (id, t) in &self.transfers {
             let te = match t.state {
@@ -997,9 +1135,16 @@ impl XferScheduler {
         best
     }
 
+    /// The heap's answer in oracle form, for differential tests.
+    #[cfg(any(test, feature = "naive-oracle"))]
+    pub fn heap_next_event(&mut self) -> Option<(SimTime, u64)> {
+        self.next_internal_event()
+    }
+
     /// The next instant at which transfer-plane state changes, if
-    /// any work is outstanding.
-    pub fn next_event_time(&self) -> Option<SimTime> {
+    /// any work is outstanding. Needs `&mut self` to prune stale
+    /// heap entries in place.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
         self.next_internal_event().map(|(t, _)| t)
     }
 
@@ -1008,12 +1153,19 @@ impl XferScheduler {
         if dt <= 0.0 {
             return;
         }
-        let counts = self.active_counts();
-        for t in self.transfers.values_mut() {
-            if t.state == TState::Active {
-                let link = self.network.link(t.from, t.to);
-                let n = counts.get(&(t.from, t.to)).copied().unwrap_or(1) as f64;
-                t.remaining = (t.remaining - link.bandwidth_bps * dt / n).max(0.0);
+        let XferScheduler {
+            active,
+            transfers,
+            network,
+            ..
+        } = self;
+        for ((from, to), ids) in active.iter() {
+            let link = network.link(*from, *to);
+            let drain = link.bandwidth_bps * dt / ids.len() as f64;
+            for id in ids {
+                if let Some(t) = transfers.get_mut(id) {
+                    t.remaining = (t.remaining - drain).max(0.0);
+                }
             }
         }
     }
@@ -1027,6 +1179,8 @@ impl XferScheduler {
                     t.remaining = 0.0;
                     (t.from, t.to)
                 };
+                // Off the link either way: the drain is complete.
+                self.unmark_active(id, from, to);
                 let latency = self.network.link(from, to).latency;
                 if latency == SimDuration::ZERO {
                     self.land(id);
@@ -1035,6 +1189,7 @@ impl XferScheduler {
                     self.transfers.get_mut(&id).expect("live transfer").state = TState::Latency {
                         until: self.now + latency,
                     };
+                    self.reschedule(id);
                 }
             }
             Some(TState::Latency { .. }) => self.land(id),
@@ -1054,16 +1209,17 @@ impl XferScheduler {
         if t < self.now {
             return;
         }
-        loop {
-            match self.next_internal_event() {
-                Some((te, id)) if te <= t => {
-                    let te = te.max(self.now);
-                    self.integrate(te);
-                    self.now = te;
-                    self.fire(id);
-                }
-                _ => break,
+        while let Some((te, id)) = self.next_internal_event() {
+            if te > t {
+                break;
             }
+            // Consume the entry we are about to fire; every state
+            // transition below re-establishes its own scheduling.
+            self.events.pop();
+            let te = te.max(self.now);
+            self.integrate(te);
+            self.now = te;
+            self.fire(id);
         }
         self.integrate(t);
         self.now = t;
@@ -1559,6 +1715,93 @@ mod tests {
         y.restore(&ex);
         assert_eq!(y.export(), ex);
         assert_eq!(y.rearm_pending(), 1);
+    }
+
+    /// One mutation against a scheduler under differential test.
+    #[derive(Clone, Debug)]
+    enum Op {
+        Register { file: u8 },
+        Replicate { file: u8, to: u8 },
+        Advance { secs: u8 },
+        FailLink { to: u8 },
+        HealLink { to: u8 },
+        DeleteSource { file: u8 },
+        PlanStage { file: u8, to: u8 },
+    }
+
+    fn arb_op() -> impl proptest::Strategy<Value = Op> {
+        use proptest::prelude::*;
+        prop_oneof![
+            (0u8..6).prop_map(|file| Op::Register { file }),
+            (0u8..6, 2u8..6).prop_map(|(file, to)| Op::Replicate { file, to }),
+            (1u8..9).prop_map(|secs| Op::Advance { secs }),
+            (2u8..6).prop_map(|to| Op::FailLink { to }),
+            (2u8..6).prop_map(|to| Op::HealLink { to }),
+            (0u8..6).prop_map(|file| Op::DeleteSource { file }),
+            (0u8..6, 2u8..6).prop_map(|(file, to)| Op::PlanStage { file, to }),
+        ]
+    }
+
+    proptest::proptest! {
+        /// The heap and the retained naive scan must agree on every
+        /// next internal event across arbitrary mutation sequences.
+        /// Times may differ by at most 1 µs: the heap stores absolute
+        /// due instants at (re)schedule time while the oracle
+        /// recomputes them from the integrated `remaining`, and the
+        /// two float paths can round a µs apart at exact boundaries
+        /// (in which case the chosen ids may legitimately differ too).
+        #[test]
+        fn heap_agrees_with_naive_scan(ops in proptest::collection::vec(arb_op(), 1..48)) {
+            let net = NetworkModel::new(Link::new(1e6, SimDuration::ZERO));
+            let sites: Vec<SiteId> = (1..=6).map(s).collect();
+            let mut x = XferScheduler::new(net, sites, XferConfig::with_defaults());
+            for op in ops {
+                match op {
+                    Op::Register { file } => {
+                        x.register(&file_ref_mb(file, 1 + file as u64, &[1]));
+                    }
+                    Op::Replicate { file, to } => {
+                        let _ = x.replicate(&format!("f{file}"), s(to as u64));
+                    }
+                    Op::Advance { secs } => {
+                        x.advance_to(x.now() + SimDuration::from_secs(secs as u64));
+                    }
+                    Op::FailLink { to } => x.fail_link(s(1), s(to as u64)),
+                    Op::HealLink { to } => x.heal_link(s(1), s(to as u64)),
+                    Op::DeleteSource { file } => {
+                        let _ = x.delete_replica(&format!("f{file}"), s(1));
+                    }
+                    Op::PlanStage { file, to } => {
+                        if let Some(f) = x.lookup(&format!("f{file}")) {
+                            if let Some((token, _)) = x.plan_stage(s(to as u64), &[f]) {
+                                x.bind_chain(token, 1000 + file as u64);
+                            }
+                        }
+                    }
+                }
+                let naive = x.naive_next_event();
+                let heap = x.heap_next_event();
+                match (naive, heap) {
+                    (None, None) => {}
+                    (Some((tn, idn)), Some((th, idh))) => {
+                        let gap = tn.max(th).saturating_since(tn.min(th));
+                        proptest::prop_assert!(
+                            gap <= SimDuration::from_micros(1),
+                            "heap due {th:?} (id {idh}) vs naive {tn:?} (id {idn})"
+                        );
+                        if gap == SimDuration::ZERO {
+                            proptest::prop_assert_eq!(idn, idh);
+                        }
+                    }
+                    (n, h) => proptest::prop_assert!(false, "naive {n:?} vs heap {h:?}"),
+                }
+            }
+        }
+    }
+
+    fn file_ref_mb(file: u8, mb: u64, at: &[u64]) -> FileRef {
+        FileRef::new(format!("f{file}"), mb * 1_000_000)
+            .with_replicas(at.iter().map(|n| s(*n)).collect())
     }
 
     #[test]

@@ -117,6 +117,40 @@ fn overdue_poll_catches_up_after_direct_advance() {
 }
 
 #[test]
+fn poll_phase_survives_direct_advance() {
+    // The poll schedule is anchored at stack construction: every 5 s,
+    // at 5, 10, 15, ... A caller-driven `Grid::advance_to` used to
+    // reset the anchor (`now + period`), so the same workload polled
+    // at different instants depending on who moved the clock. The
+    // memo-counter samples published by each poll round pin the
+    // actual poll instants.
+    for driver in DRIVERS {
+        let stack = one_site_stack(driver);
+        // Jump the grid clock straight past the 5 s and 10 s polls.
+        stack.grid.advance_to(SimTime::from_secs(12));
+        stack.run_until(SimTime::from_secs(30));
+
+        let key = gae::monitor::MetricKey::new(SiteId::new(0), "estimator", "memo_hits");
+        let mut poll_instants: Vec<u64> = stack
+            .grid
+            .monitor()
+            .range(&key, SimTime::ZERO, SimTime::from_secs(1000))
+            .iter()
+            .map(|s| s.at.as_secs_f64() as u64)
+            .collect();
+        poll_instants.dedup();
+        // Catch-up fires at 12, then the schedule realigns to the
+        // original 5 s grid: 15, 20, 25, and the horizon poll at 30.
+        // The buggy reset produced [12, 17, 22, 27, 30] instead.
+        assert_eq!(
+            poll_instants,
+            vec![12, 15, 20, 25, 30],
+            "poll phase shifted after a direct advance ({driver:?})"
+        );
+    }
+}
+
+#[test]
 fn completion_exactly_on_poll_boundary_is_not_skipped() {
     // Demand tuned so the completion event lands exactly on the 5 s
     // poll instant: the loop must both consume the event and run the

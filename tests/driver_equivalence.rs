@@ -179,3 +179,137 @@ proptest! {
         prop_assert_eq!(sequential, sharded);
     }
 }
+
+// ---- event-heap tie-breaking stress (DESIGN.md §15) ----
+//
+// Demands quantised to 5 s multiples (zero-length included) pile
+// completions, staging releases and transfer landings onto the same
+// instants across sites; mid-run kills, migrations and data releases
+// invalidate live heap entries. Byte-identical drained schedules
+// between the drivers, plus agreement between the cached next-event
+// index and the brute-force site scan, prove the heaps' `(time, id)`
+// tie order matches the retained naive oracle.
+
+/// One tie-stress workload in plain data form.
+#[derive(Clone, Debug)]
+struct TieScenario {
+    /// Free sites, 2 nodes × 2 slots each.
+    sites: usize,
+    /// Per task: (site index, demand in 5 s quanta, staged input?).
+    tasks: Vec<(usize, u64, bool)>,
+    /// Applied after the second stride: (task index, op) with
+    /// op 0 = kill, 1 = migrate to the next site, 2 = release data.
+    disrupt: Vec<(usize, u8)>,
+    /// Worker count for the sharded run.
+    threads: usize,
+    /// Five-second lockstep strides before settling.
+    strides: u64,
+}
+
+fn arb_tie() -> impl Strategy<Value = TieScenario> {
+    let task = (any::<prop::sample::Index>(), 0u64..5, any::<bool>());
+    let op = (any::<prop::sample::Index>(), 0u8..3);
+    (
+        2usize..13,
+        prop::collection::vec(task, 4..24),
+        prop::collection::vec(op, 0..6),
+        1usize..5,
+        3u64..8,
+    )
+        .prop_map(|(sites, raw_tasks, raw_ops, threads, strides)| {
+            let n = raw_tasks.len();
+            TieScenario {
+                sites,
+                tasks: raw_tasks
+                    .into_iter()
+                    .map(|(s, q, staged)| (s.index(sites), q, staged))
+                    .collect(),
+                disrupt: raw_ops
+                    .into_iter()
+                    .map(|(t, op)| (t.index(n), op))
+                    .collect(),
+                threads,
+                strides,
+            }
+        })
+}
+
+fn run_tie(
+    scenario: &TieScenario,
+    driver: DriverMode,
+) -> (Vec<(SiteId, gae::exec::ExecEvent)>, SimTime) {
+    let mut builder = GridBuilder::new().driver(driver);
+    for i in 0..scenario.sites {
+        builder = builder.site(SiteDescription::new(
+            SiteId::new(i as u64 + 1),
+            format!("s{i}"),
+            2,
+            2,
+        ));
+    }
+    let grid = builder.build();
+    // Submit everything at t=0; staged tasks pull a 50 MB input from
+    // the next site over, so their release instants contend on links.
+    let mut handles = Vec::new();
+    for (k, (site_idx, quanta, staged)) in scenario.tasks.iter().enumerate() {
+        let site = SiteId::new(*site_idx as u64 + 1);
+        let mut spec = TaskSpec::new(TaskId::new(k as u64 + 1), format!("t{k}"), "app")
+            .with_cpu_demand(SimDuration::from_secs(quanta * 5));
+        if *staged {
+            let src = SiteId::new((*site_idx as u64 + 1) % scenario.sites as u64 + 1);
+            spec = spec.with_inputs(vec![
+                FileRef::new(format!("in{k}.root"), 50_000_000).with_replicas(vec![src])
+            ]);
+        }
+        let condor = grid.submit(site, spec, None).expect("free site accepts");
+        handles.push((site, condor));
+    }
+    let mut events = Vec::new();
+    for stride in 1..=scenario.strides {
+        grid.advance_to(SimTime::from_secs(stride * 5));
+        if stride == 2 {
+            // Invalidate live heap entries mid-flight, identically in
+            // both runs; errors (already-terminal tasks) are part of
+            // the shared schedule too.
+            for (ti, op) in &scenario.disrupt {
+                let (site, condor) = handles[*ti];
+                match op {
+                    0 => {
+                        let _ = grid.exec(site).unwrap().lock().kill(condor);
+                        grid.release_task_data(site, condor);
+                    }
+                    1 => {
+                        let moved = grid.exec(site).unwrap().lock().remove_for_migration(condor);
+                        if let Ok((spec, checkpoint)) = moved {
+                            grid.release_task_data(site, condor);
+                            let to = SiteId::new(site.raw() % scenario.sites as u64 + 1);
+                            let _ = grid.submit(to, spec, checkpoint);
+                        }
+                    }
+                    _ => grid.release_task_data(site, condor),
+                }
+            }
+        }
+        events.extend(grid.drain_events());
+        assert_eq!(
+            grid.next_event_time(),
+            grid.next_event_time_uncached(),
+            "cached index diverged from the naive site scan at stride {stride}"
+        );
+    }
+    grid.advance_to(SimTime::from_secs(600));
+    events.extend(grid.drain_events());
+    assert_eq!(grid.next_event_time(), grid.next_event_time_uncached());
+    (events, grid.now())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn heap_tie_breaking_matches_across_drivers(scenario in arb_tie()) {
+        let sequential = run_tie(&scenario, DriverMode::Sequential);
+        let sharded = run_tie(&scenario, DriverMode::sharded(scenario.threads));
+        prop_assert_eq!(sequential, sharded);
+    }
+}

@@ -245,7 +245,12 @@ pub fn estimate_probe(stack: &ServiceStack) -> Vec<String> {
         .grid
         .site_ids()
         .into_iter()
-        .map(|site| format!("{site} {:?}", stack.estimators.estimate_runtime(site, &spec)))
+        .map(|site| {
+            format!(
+                "{site} {:?}",
+                stack.estimators.estimate_runtime(site, &spec)
+            )
+        })
         .collect()
 }
 

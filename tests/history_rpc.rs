@@ -52,10 +52,7 @@ fn deploy() -> Deployment {
     let host = ServiceHost::open();
     host.attach_obs(stack.obs());
     host.register(Arc::new(HistoryRpc::new(stack.hist.clone(), stack.obs())));
-    let gate = Gate::new(
-        GateConfig::default(),
-        Arc::new(gae::gate::WallClock::new()),
-    );
+    let gate = Gate::new(GateConfig::default(), Arc::new(gae::gate::WallClock::new()));
     let server = TcpRpcServer::start_gated(host, 2, gate.clone()).unwrap();
     Deployment {
         stack,
@@ -180,7 +177,10 @@ fn query_round_trips_predicates_over_the_wire() {
     assert_eq!(rebuilt.digest(), d.stack.hist.store().digest());
 
     // All of it went through the gate.
-    assert!(d.gate.stats().total_admitted() > 0, "facade calls are gated");
+    assert!(
+        d.gate.stats().total_admitted() > 0,
+        "facade calls are gated"
+    );
     d.server.stop();
 }
 
@@ -332,7 +332,11 @@ fn arb_junk_predicate() -> impl Strategy<Value = Value> {
         any::<u8>(),
     )
         .prop_map(|((csel, junk_col), osel, value, drop)| {
-            let known: Vec<&str> = NUM_COLUMNS.iter().chain(STR_COLUMNS.iter()).copied().collect();
+            let known: Vec<&str> = NUM_COLUMNS
+                .iter()
+                .chain(STR_COLUMNS.iter())
+                .copied()
+                .collect();
             let column = if csel % 4 == 0 {
                 junk_col
             } else {
@@ -525,7 +529,9 @@ fn jobmon_export_digests_are_identical_across_driver_modes() {
     let run = |driver: DriverMode| {
         let stack = ServiceStack::over(build_grid(&scenario, driver, None));
         submit_workload(&scenario, &stack);
-        stack.run_until(SimTime::from_secs(scenario.steps as u64 * scenario.step_secs));
+        stack.run_until(SimTime::from_secs(
+            scenario.steps as u64 * scenario.step_secs,
+        ));
         let export = format!("{:?}", stack.jobmon.db_snapshot());
         (export, stack.hist.store().digest())
     };
@@ -541,7 +547,9 @@ fn jobmon_export_digests_are_identical_across_driver_modes() {
     let infos = {
         let stack = ServiceStack::over(build_grid(&scenario, DriverMode::Sequential, None));
         submit_workload(&scenario, &stack);
-        stack.run_until(SimTime::from_secs(scenario.steps as u64 * scenario.step_secs));
+        stack.run_until(SimTime::from_secs(
+            scenario.steps as u64 * scenario.step_secs,
+        ));
         stack.jobmon.db_snapshot()
     };
     let mut sorted = infos.clone();

@@ -1,0 +1,513 @@
+//! C10k overload sweep: the ROADMAP's "10k+ concurrent clients"
+//! target, measured.
+//!
+//! The Figure 6 testbed (16 workers, fixed service time, gae-gate
+//! admission) is kept intact; what changes is the *front door* — the
+//! blocking thread-per-connection server versus the `gae-aio` epoll
+//! reactor — and the client count, pushed to 10,000 keep-alive
+//! connections. The client side is honest about scale too: one
+//! driver thread holds every client socket nonblocking on its own
+//! [`gae_aio::Poller`], with `gae-rpc`'s incremental [`FrameParser`]
+//! reading responses, so the harness itself never needs 10k threads.
+//!
+//! Process budget: this box caps each process at 20k fds, so the full
+//! 10k sweep runs the client fleet in a child process (see the
+//! `c10k_sweep` binary); in-process driving is for ≤ ~4k connections
+//! (tests, CI smoke).
+
+use gae_aio::{Event, Interest, Poller, ReactorRpcServer};
+use gae_gate::{Gate, GateConfig, QueueConfig, TokenBucketConfig, WallClock};
+use gae_rpc::http::{FrameLimits, FrameParser, HttpRequest};
+use gae_rpc::{RpcTransport, ServiceHost, TcpRpcServer};
+use gae_types::{GaeError, GaeResult, SimDuration};
+use gae_wire::{write_call, MethodCall};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Experiment parameters (server side mirrors [`GateSweepConfig`]).
+#[derive(Clone, Copy, Debug)]
+pub struct C10kConfig {
+    /// Requests each client issues over its keep-alive connection.
+    pub requests_per_client: usize,
+    /// Server worker-pool size (service capacity).
+    pub workers: usize,
+    /// Emulated per-request service time, in milliseconds.
+    pub service_delay_ms: u64,
+    /// Admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Admission-queue deadline, in milliseconds.
+    pub queue_deadline_ms: u64,
+    /// Whole-fleet wall-clock budget; unfinished requests count as
+    /// errors rather than hanging the harness.
+    pub fleet_deadline: Duration,
+}
+
+impl Default for C10kConfig {
+    /// 16 workers × 2 ms: enough service capacity that admitted
+    /// latency has a visible plateau, small enough that 10k clients
+    /// overload it thoroughly.
+    fn default() -> Self {
+        C10kConfig {
+            requests_per_client: 5,
+            workers: 16,
+            service_delay_ms: 2,
+            queue_capacity: 32,
+            queue_deadline_ms: 2_000,
+            fleet_deadline: Duration::from_secs(120),
+        }
+    }
+}
+
+/// Client-fleet totals, transport-agnostic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientTotals {
+    /// Requests answered with an XML-RPC success.
+    pub admitted: u64,
+    /// Summed latency of admitted requests.
+    pub admitted_sum: Duration,
+    /// Worst admitted-request latency.
+    pub admitted_max: Duration,
+    /// Requests refused with a typed `Overloaded`/`RateLimited` fault.
+    pub shed: u64,
+    /// Summed turnaround of shed requests.
+    pub shed_sum: Duration,
+    /// Anything else: transport errors, non-200 statuses, fleet
+    /// deadline expiry. Zero in a healthy sweep — the acceptance
+    /// criterion "typed-fault-only rejections".
+    pub errors: u64,
+}
+
+impl ClientTotals {
+    /// Merges another fleet's totals (for sharded drivers).
+    pub fn merge(&mut self, other: &ClientTotals) {
+        self.admitted += other.admitted;
+        self.admitted_sum += other.admitted_sum;
+        self.admitted_max = self.admitted_max.max(other.admitted_max);
+        self.shed += other.shed;
+        self.shed_sum += other.shed_sum;
+        self.errors += other.errors;
+    }
+
+    /// Serialises as one whitespace-separated line (child→parent IPC).
+    pub fn to_line(&self) -> String {
+        format!(
+            "C10K admitted={} admitted_sum_us={} admitted_max_us={} shed={} shed_sum_us={} errors={}",
+            self.admitted,
+            self.admitted_sum.as_micros(),
+            self.admitted_max.as_micros(),
+            self.shed,
+            self.shed_sum.as_micros(),
+            self.errors
+        )
+    }
+
+    /// Parses [`Self::to_line`] output.
+    pub fn from_line(line: &str) -> Option<ClientTotals> {
+        let mut t = ClientTotals::default();
+        if !line.starts_with("C10K ") {
+            return None;
+        }
+        for field in line.split_whitespace().skip(1) {
+            let (k, v) = field.split_once('=')?;
+            let n: u64 = v.parse().ok()?;
+            match k {
+                "admitted" => t.admitted = n,
+                "admitted_sum_us" => t.admitted_sum = Duration::from_micros(n),
+                "admitted_max_us" => t.admitted_max = Duration::from_micros(n),
+                "shed" => t.shed = n,
+                "shed_sum_us" => t.shed_sum = Duration::from_micros(n),
+                "errors" => t.errors = n,
+                _ => return None,
+            }
+        }
+        Some(t)
+    }
+}
+
+/// One row of the thread-pool-vs-reactor table.
+#[derive(Clone, Copy, Debug)]
+pub struct C10kRow {
+    /// Which front door served the row.
+    pub transport: RpcTransport,
+    /// Concurrent keep-alive clients.
+    pub clients: usize,
+    /// Fleet totals.
+    pub totals: ClientTotals,
+    /// Mean admitted latency, milliseconds.
+    pub admitted_mean_ms: f64,
+    /// Worst admitted latency, milliseconds.
+    pub admitted_max_ms: f64,
+    /// Mean shed turnaround, milliseconds.
+    pub shed_mean_ms: f64,
+    /// Highest admission-queue depth the gate observed.
+    pub peak_queue_depth: usize,
+    /// Highest concurrently-open server-side connection count
+    /// observed (reactor only; 0 where the transport can't report it).
+    pub peak_open_connections: u64,
+    /// Wall-clock time the whole row took.
+    pub wall: Duration,
+}
+
+impl C10kRow {
+    fn build(
+        transport: RpcTransport,
+        clients: usize,
+        totals: ClientTotals,
+        peak_queue_depth: usize,
+        peak_open_connections: u64,
+        wall: Duration,
+    ) -> C10kRow {
+        let mean_ms = |sum: Duration, n: u64| {
+            if n == 0 {
+                0.0
+            } else {
+                sum.as_secs_f64() * 1000.0 / n as f64
+            }
+        };
+        C10kRow {
+            transport,
+            clients,
+            admitted_mean_ms: mean_ms(totals.admitted_sum, totals.admitted),
+            admitted_max_ms: totals.admitted_max.as_secs_f64() * 1000.0,
+            shed_mean_ms: mean_ms(totals.shed_sum, totals.shed),
+            totals,
+            peak_queue_depth,
+            peak_open_connections,
+            wall,
+        }
+    }
+}
+
+/// A gated server on either front door, plus the gate for stats.
+pub struct C10kServer {
+    addr: SocketAddr,
+    gate: Arc<Gate>,
+    kind: ServerKind,
+}
+
+enum ServerKind {
+    Blocking(TcpRpcServer),
+    Reactor(ReactorRpcServer),
+}
+
+impl C10kServer {
+    /// Starts the Figure-6 delay service behind the gate on the
+    /// requested transport.
+    pub fn start(transport: RpcTransport, config: &C10kConfig) -> C10kServer {
+        let host = ServiceHost::open();
+        host.register(crate::gate::delay_service(Duration::from_millis(
+            config.service_delay_ms,
+        )));
+        let gate = Gate::new(
+            GateConfig {
+                // The bounded queue is the only shedding mechanism
+                // under test, as in the Figure 6 gate sweep.
+                bucket: TokenBucketConfig::new(1e9, 1e9),
+                queue: QueueConfig::new(
+                    config.queue_capacity,
+                    SimDuration::from_millis(config.queue_deadline_ms),
+                ),
+                ..GateConfig::default()
+            },
+            Arc::new(WallClock::new()),
+        );
+        let kind = match transport {
+            RpcTransport::ThreadPool => ServerKind::Blocking(
+                TcpRpcServer::start_gated(host, config.workers, gate.clone())
+                    .expect("bind loopback"),
+            ),
+            RpcTransport::Reactor => ServerKind::Reactor(
+                ReactorRpcServer::start_gated(host, config.workers, gate.clone())
+                    .expect("bind loopback"),
+            ),
+        };
+        let addr = match &kind {
+            ServerKind::Blocking(s) => s.addr(),
+            ServerKind::Reactor(s) => s.addr(),
+        };
+        C10kServer { addr, gate, kind }
+    }
+
+    /// The bound address, for client fleets (possibly in a child
+    /// process).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Currently-open server-side connections (reactor only).
+    pub fn open_connections(&self) -> u64 {
+        match &self.kind {
+            ServerKind::Blocking(_) => 0,
+            ServerKind::Reactor(s) => s.open_connections(),
+        }
+    }
+
+    /// Stops the server and reports the gate's peak queue depth.
+    pub fn finish(self) -> usize {
+        let depth = self.gate.stats().peak_queue_depth;
+        match self.kind {
+            ServerKind::Blocking(s) => s.stop(),
+            ServerKind::Reactor(s) => s.stop(),
+        }
+        depth
+    }
+}
+
+/// Per-client state in the nonblocking fleet.
+struct FleetConn {
+    stream: TcpStream,
+    parser: FrameParser,
+    inbuf: Vec<u8>,
+    out: Vec<u8>,
+    out_off: usize,
+    remaining: usize,
+    t0: Instant,
+    interest: Interest,
+}
+
+/// Drives `clients` concurrent keep-alive connections against `addr`
+/// from ONE thread: nonblocking sockets on a [`Poller`], each issuing
+/// `requests_per_client` sequential `bench.work` calls. This is the
+/// honest C10k client side — no thread-per-client anywhere.
+pub fn drive_clients(
+    addr: SocketAddr,
+    clients: usize,
+    requests_per_client: usize,
+    fleet_deadline: Duration,
+) -> GaeResult<ClientTotals> {
+    let request_bytes = {
+        let body = write_call(&MethodCall::new("bench.work", vec![])).into_bytes();
+        let mut buf = Vec::new();
+        HttpRequest::xmlrpc(body, None)
+            .write_to(&mut buf)
+            .expect("vec write");
+        buf
+    };
+    let mut poller = Poller::new().map_err(|e| GaeError::Io(format!("poller: {e}")))?;
+    let mut conns: Vec<Option<FleetConn>> = Vec::with_capacity(clients);
+    let mut totals = ClientTotals::default();
+    let started = Instant::now();
+
+    // Ramp-up: blocking connects (loopback, instant), then switch
+    // each socket nonblocking, register it, and fire its first
+    // request. The server is already absorbing load mid-ramp.
+    for i in 0..clients {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))
+            .map_err(|e| GaeError::Io(format!("connect client {i}: {e}")))?;
+        stream.set_nodelay(true).ok();
+        stream
+            .set_nonblocking(true)
+            .map_err(|e| GaeError::Io(format!("nonblocking: {e}")))?;
+        let mut conn = FleetConn {
+            stream,
+            parser: FrameParser::new(FrameLimits::DEFAULT),
+            inbuf: Vec::new(),
+            out: request_bytes.clone(),
+            out_off: 0,
+            remaining: requests_per_client,
+            t0: Instant::now(),
+            interest: Interest::READ,
+        };
+        let interest = pump_write(&mut conn);
+        conn.interest = interest;
+        poller
+            .add(conn.stream.as_raw_fd(), i as u64, interest)
+            .map_err(|e| GaeError::Io(format!("register: {e}")))?;
+        conns.push(Some(conn));
+    }
+
+    let mut live = clients;
+    let mut events: Vec<Event> = Vec::new();
+    while live > 0 {
+        if started.elapsed() > fleet_deadline {
+            // Fleet budget blown: count every unfinished request as
+            // an error and stop, rather than hanging the harness.
+            for conn in conns.iter().flatten() {
+                totals.errors += conn.remaining as u64;
+            }
+            break;
+        }
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(100)))
+            .map_err(|e| GaeError::Io(format!("wait: {e}")))?;
+        for &ev in &events {
+            let slot = ev.token as usize;
+            let Some(conn) = conns[slot].as_mut() else {
+                continue;
+            };
+            let mut dead = false;
+            if ev.readable || ev.hangup {
+                dead = pump_read(conn, &request_bytes, &mut totals);
+            }
+            if !dead && ev.writable {
+                let want = pump_write(conn);
+                if want != conn.interest {
+                    conn.interest = want;
+                    let fd = conn.stream.as_raw_fd();
+                    let _ = poller.modify(fd, ev.token, want);
+                }
+            }
+            let finished = conn.remaining == 0 && conn.out_off >= conn.out.len();
+            if dead || finished {
+                if dead {
+                    totals.errors += conn.remaining as u64;
+                }
+                let fd = conn.stream.as_raw_fd();
+                let _ = poller.remove(fd);
+                conns[slot] = None;
+                live -= 1;
+            }
+        }
+    }
+    Ok(totals)
+}
+
+/// Writes as much queued output as the socket allows; returns the
+/// interest the connection now needs.
+fn pump_write(conn: &mut FleetConn) -> Interest {
+    while conn.out_off < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_off..]) {
+            Ok(0) => break,
+            Ok(n) => conn.out_off += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    if conn.out_off < conn.out.len() {
+        Interest::READ_WRITE
+    } else {
+        Interest::READ
+    }
+}
+
+/// Reads and classifies whatever responses are available. Returns
+/// `true` when the connection is dead.
+fn pump_read(conn: &mut FleetConn, request_bytes: &[u8], totals: &mut ClientTotals) -> bool {
+    let mut buf = [0u8; 8 * 1024];
+    loop {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => return true,
+            Ok(n) => conn.inbuf.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+    while !conn.inbuf.is_empty() && conn.remaining > 0 {
+        let consumed = match conn.parser.feed(&conn.inbuf) {
+            Ok(n) => n,
+            Err(_) => {
+                totals.errors += 1;
+                return true;
+            }
+        };
+        conn.inbuf.drain(..consumed);
+        if !conn.parser.is_complete() {
+            break;
+        }
+        let response = match conn.parser.take_response() {
+            Ok(r) => r,
+            Err(_) => {
+                totals.errors += 1;
+                return true;
+            }
+        };
+        let latency = conn.t0.elapsed();
+        if response.status != 200 {
+            totals.errors += 1;
+            return true; // server said goodbye (408/413/503)
+        }
+        match gae_wire::parse_response(&response.body).map(|r| r.into_result()) {
+            Ok(Ok(_)) => {
+                totals.admitted += 1;
+                totals.admitted_sum += latency;
+                totals.admitted_max = totals.admitted_max.max(latency);
+            }
+            Ok(Err(GaeError::Overloaded { .. })) | Ok(Err(GaeError::RateLimited { .. })) => {
+                totals.shed += 1;
+                totals.shed_sum += latency;
+            }
+            _ => totals.errors += 1,
+        }
+        conn.remaining -= 1;
+        if conn.remaining > 0 {
+            conn.out = request_bytes.to_vec();
+            conn.out_off = 0;
+            conn.t0 = Instant::now();
+            let _ = pump_write(conn);
+        }
+    }
+    false
+}
+
+/// One full row with a caller-supplied client fleet: starts the
+/// server, samples peak open connections while `fleet` runs, and
+/// folds gate stats into the row. The `c10k_sweep` binary passes a
+/// fleet that runs in a child process (own fd budget) for the full
+/// 10k; tests pass [`drive_clients`] directly.
+pub fn c10k_with_fleet(
+    transport: RpcTransport,
+    clients: usize,
+    config: C10kConfig,
+    fleet: impl FnOnce(SocketAddr) -> GaeResult<ClientTotals>,
+) -> GaeResult<C10kRow> {
+    let server = C10kServer::start(transport, &config);
+    let addr = server.addr();
+    let t0 = Instant::now();
+    // Sample peak open connections while the fleet runs (the
+    // blocking server has no gauge; its counter stays zero).
+    let gauge: Arc<AtomicU64> = match &server.kind {
+        ServerKind::Blocking(_) => Arc::new(AtomicU64::new(0)),
+        ServerKind::Reactor(s) => s.open_connections_handle(),
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let stop = stop.clone();
+        let gauge = gauge.clone();
+        std::thread::spawn(move || {
+            let mut peak = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                peak = peak.max(gauge.load(Ordering::Relaxed));
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            peak.max(gauge.load(Ordering::Relaxed))
+        })
+    };
+    let totals = fleet(addr)?;
+    let wall = t0.elapsed();
+    stop.store(true, Ordering::Release);
+    let peak_open = sampler.join().unwrap_or(0);
+    let peak_depth = server.finish();
+    Ok(C10kRow::build(
+        transport, clients, totals, peak_depth, peak_open, wall,
+    ))
+}
+
+/// One full in-process row: server + client fleet in this process.
+/// fd budget limits this to ≤ ~4k clients; the `c10k_sweep` binary
+/// shells the fleet out to a child process for the full 10k.
+pub fn c10k_in_process(
+    transport: RpcTransport,
+    clients: usize,
+    config: C10kConfig,
+) -> GaeResult<C10kRow> {
+    assert!(
+        clients <= 4_000,
+        "in-process mode holds client+server fds in one 20k-fd process; \
+         use the c10k_sweep binary's child-process driver beyond 4k"
+    );
+    c10k_with_fleet(transport, clients, config, |addr| {
+        drive_clients(
+            addr,
+            clients,
+            config.requests_per_client,
+            config.fleet_deadline,
+        )
+    })
+}

@@ -92,6 +92,12 @@ impl Service for DelayRpc {
     }
 }
 
+/// The fixed-cost `bench.work` service, shared with the C10k sweep
+/// (same workload, different front door).
+pub(crate) fn delay_service(delay: Duration) -> Arc<dyn Service> {
+    Arc::new(DelayRpc { delay })
+}
+
 /// Runs the gated overload experiment for each client count.
 pub fn gate_sweep(client_counts: &[usize], config: GateSweepConfig) -> Vec<GateSweepRow> {
     let mut rows = Vec::new();

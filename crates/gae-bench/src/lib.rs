@@ -8,12 +8,16 @@
 
 #![warn(missing_docs)]
 
+pub mod c10k;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod gate;
 pub mod scenario;
 
+pub use c10k::{
+    c10k_in_process, c10k_with_fleet, drive_clients, C10kConfig, C10kRow, C10kServer, ClientTotals,
+};
 pub use fig5::{figure5, Fig5Result, Fig5Row};
 pub use fig6::{figure6, Fig6Config, Fig6Row};
 pub use fig7::{figure7, Fig7Config, Fig7Result};

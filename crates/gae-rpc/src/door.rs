@@ -1,0 +1,232 @@
+//! The RPC door: the one request-dispatch path every transport
+//! shares.
+//!
+//! Both front ends — the blocking thread-per-connection server in
+//! [`crate::tcp`] and the `gae-aio` epoll reactor — frame an
+//! [`HttpRequest`] and then hand it here. The door owns everything
+//! that must behave *identically* across transports: principal
+//! attribution, gate admission (classify → bucket → bounded priority
+//! queue), disposition observation, XML-RPC parse/auth/dispatch, and
+//! fault encoding. The transport only supplies a `deliver` callback
+//! that ships the response body back to its connection; the blocking
+//! server backs it with a channel `recv`, the reactor with a
+//! per-connection completion slot + eventfd wakeup.
+//!
+//! Because the door is shared, "blocking ≡ reactor" equivalence
+//! (identical response bytes and gate dispositions for the same
+//! admitted request sequence) holds by construction — and is still
+//! proptest-enforced end to end in `tests/reactor_transport.rs`.
+
+use crate::gatedpool::{Disposition, GatedPool};
+use crate::host::ServiceHost;
+use crate::http::HttpRequest;
+use crate::threadpool::{ExecuteError, ThreadPool};
+use gae_gate::{Gate, Principal};
+use gae_types::{GaeError, SessionId};
+use gae_wire::{parse_call, write_response};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Holds `deliver` where both the queued job and the submitting
+/// thread can reach it: whichever side learns the request's fate
+/// first takes it (exactly once — the other side finds the slot
+/// empty only in paths where it never fires).
+type DeliverSlot = Arc<Mutex<Option<Deliver>>>;
+
+/// The virtual organisation requests are billed to when the session
+/// layer does not carry one (single-VO deployments, the common case).
+pub const DEFAULT_VO: &str = "gae";
+
+/// Ships one response body back to the transport's connection.
+/// Invoked exactly once for every accepted request (result, fault,
+/// or typed overload) — a transport blocked on it never hangs.
+pub type Deliver = Box<dyn FnOnce(Vec<u8>) + Send + 'static>;
+
+/// The door refused the request because the server is shutting
+/// down; `deliver` was dropped unused and the transport should
+/// answer HTTP 503 and close.
+#[derive(Debug)]
+pub struct DoorClosed;
+
+/// The request-processing backend behind a server's acceptor:
+/// either the plain bounded pool, or the gate's admission pipeline.
+pub enum DoorBackend {
+    /// Bounded hand-off; saturation sheds with a typed overload fault.
+    Plain(ThreadPool),
+    /// Rate limiting + priority admission queue in front of the pool.
+    Gated(GatedPool, Arc<Gate>),
+}
+
+impl DoorBackend {
+    /// A door with `workers` request processors, gated when `gate`
+    /// is present.
+    pub fn new(workers: usize, gate: Option<Arc<Gate>>) -> DoorBackend {
+        match gate {
+            Some(g) => DoorBackend::Gated(GatedPool::new(&g, workers), g),
+            None => DoorBackend::Plain(ThreadPool::new(workers)),
+        }
+    }
+
+    /// Submits one POSTed request. `deliver` is called exactly once
+    /// with the response body — possibly synchronously (rate-limit
+    /// refusals and saturation sheds are faulted on the submitting
+    /// thread) — unless the door is closed, in which case `deliver`
+    /// is dropped and [`DoorClosed`] returned.
+    pub fn submit(
+        &self,
+        host: &Arc<ServiceHost>,
+        request: HttpRequest,
+        peer: &str,
+        deliver: Deliver,
+    ) -> Result<(), DoorClosed> {
+        match self {
+            DoorBackend::Plain(pool) => submit_plain(host, pool, request, peer, deliver),
+            DoorBackend::Gated(pool, gate) => {
+                submit_gated(host, pool, gate, request, peer, deliver);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// An XML-RPC fault response body for `e` (HTTP 200; the typed error
+/// round-trips through `GaeError::from_fault` on the client).
+pub fn fault_body(e: &GaeError) -> Vec<u8> {
+    write_response(&gae_wire::Response::Fault(gae_wire::Fault::from_error(e))).into_bytes()
+}
+
+/// Runs one request on the plain bounded pool.
+fn submit_plain(
+    host: &Arc<ServiceHost>,
+    pool: &ThreadPool,
+    request: HttpRequest,
+    peer: &str,
+    deliver: Deliver,
+) -> Result<(), DoorClosed> {
+    let slot: DeliverSlot = Arc::new(Mutex::new(Some(deliver)));
+    let host = host.clone();
+    let peer = peer.to_string();
+    let in_job = slot.clone();
+    match pool.execute(move || {
+        let body = process_request(&host, &request, &peer);
+        if let Some(deliver) = in_job.lock().take() {
+            deliver(body);
+        }
+    }) {
+        Ok(()) => Ok(()),
+        Err(ExecuteError::Saturated { .. }) => {
+            // The backlog is full: shed with a typed retry-after so
+            // clients back off instead of piling on. 10 ms ≈ one
+            // request service time at the measured throughput. The
+            // job closure was dropped unexecuted, so the slot still
+            // holds `deliver`.
+            let deliver = slot.lock().take().expect("refused job never ran");
+            deliver(fault_body(&GaeError::Overloaded {
+                retry_after_us: 10_000,
+                shed_class: "pool".to_string(),
+            }));
+            Ok(())
+        }
+        Err(ExecuteError::ShuttingDown) => Err(DoorClosed),
+    }
+}
+
+/// Runs one request through the gate: principal attribution, token
+/// bucket, bounded priority queue. Every path delivers a body.
+fn submit_gated(
+    host: &Arc<ServiceHost>,
+    pool: &GatedPool,
+    gate: &Arc<Gate>,
+    request: HttpRequest,
+    peer: &str,
+    deliver: Deliver,
+) {
+    // Attribute the request: a resolvable session bills its user,
+    // everything else shares the VO's anonymous principal. A *stale*
+    // session is not faulted here — the worker produces the proper
+    // Unauthorized fault.
+    let principal = request
+        .session()
+        .ok()
+        .flatten()
+        .and_then(|sid| host.resolve_session(Some(SessionId::new(sid)), peer).ok())
+        .and_then(|ctx| ctx.user)
+        .map(|u| Principal::user(u, DEFAULT_VO))
+        .unwrap_or_else(|| Principal::anonymous(DEFAULT_VO));
+    let arrived = gate.clock().now();
+    let class = match gate.admit(&principal) {
+        Ok(class) => class,
+        Err(e) => {
+            gate.observe_disposition("rate_limited", gae_types::SimDuration::ZERO);
+            deliver(fault_body(&e));
+            return;
+        }
+    };
+    let slot: DeliverSlot = Arc::new(Mutex::new(Some(deliver)));
+    let host = host.clone();
+    let peer = peer.to_string();
+    let gate_in_job = gate.clone();
+    let in_job = slot.clone();
+    let submitted = pool.submit(
+        class,
+        Box::new(move |disposition| {
+            // The admission latency: arrival to disposition decision,
+            // on the gate's own clock.
+            let waited = gate_in_job.clock().now().saturating_since(arrived);
+            let body = match disposition {
+                Disposition::Run => {
+                    gate_in_job.observe_disposition("run", waited);
+                    process_request(&host, &request, &peer)
+                }
+                Disposition::Expired { retry_after } | Disposition::Shed { retry_after } => {
+                    gate_in_job.observe_disposition(
+                        if matches!(disposition, Disposition::Expired { .. }) {
+                            "expired"
+                        } else {
+                            "shed"
+                        },
+                        waited,
+                    );
+                    fault_body(&GaeError::Overloaded {
+                        retry_after_us: retry_after.as_micros().max(1),
+                        shed_class: class.name().to_string(),
+                    })
+                }
+            };
+            if let Some(deliver) = in_job.lock().take() {
+                deliver(body);
+            }
+        }),
+    );
+    // Refused on arrival: queue full of equal-or-better work. The
+    // dropped job never ran, so the slot still holds `deliver`.
+    if let Err(retry_after) = submitted {
+        gate.observe_disposition("refused", gae_types::SimDuration::ZERO);
+        let deliver = slot.lock().take().expect("refused job never ran");
+        deliver(fault_body(&GaeError::Overloaded {
+            retry_after_us: retry_after.as_micros().max(1),
+            shed_class: class.name().to_string(),
+        }));
+    }
+}
+
+/// Parses, authenticates, dispatches. Always yields a response body
+/// (faults for every failure mode). This is the RPC door: a request
+/// carrying `X-GAE-Trace` joins that trace; otherwise a fresh one is
+/// minted here when observability is wired.
+pub fn process_request(host: &ServiceHost, request: &HttpRequest, peer: &str) -> Vec<u8> {
+    let response = (|| -> gae_types::GaeResult<gae_wire::Response> {
+        let session = request.session()?.map(SessionId::new);
+        let mut ctx = host.resolve_session(session, peer)?;
+        let call = parse_call(&request.body)?;
+        if let Some(hub) = host.obs() {
+            ctx.trace = request
+                .trace()
+                .and_then(gae_obs::TraceContext::parse)
+                .or_else(|| Some(hub.mint_trace(&call.name)));
+        }
+        Ok(host.handle(&ctx, &call))
+    })()
+    .unwrap_or_else(|e| gae_wire::Response::Fault(gae_wire::Fault::from_error(&e)));
+    write_response(&response).into_bytes()
+}

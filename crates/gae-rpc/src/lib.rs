@@ -19,6 +19,9 @@
 //!   server (and reusable by anything needing bounded parallelism);
 //! * [`http`] — a minimal HTTP/1.1 subset (POST + Content-Length +
 //!   keep-alive), the framing XML-RPC runs over;
+//! * [`door`] — the transport-independent dispatch path (principal
+//!   attribution, gate admission, fault encoding) shared by the
+//!   blocking server and the `gae-aio` reactor;
 //! * [`tcp`] — the real-socket server and client used by the Figure 6
 //!   experiment;
 //! * [`inproc`] — a zero-copy in-process transport with the same
@@ -31,6 +34,7 @@
 
 pub mod auth;
 pub mod discovery;
+pub mod door;
 pub mod gatedpool;
 pub mod host;
 pub mod http;
@@ -41,9 +45,11 @@ pub mod threadpool;
 
 pub use auth::{AccessControl, Credentials, SessionManager};
 pub use discovery::{Endpoint, LookupService};
+pub use door::{fault_body, process_request, Deliver, DoorBackend, DoorClosed};
 pub use gatedpool::{Disposition, GatedJob, GatedPool};
 pub use host::ServiceHost;
+pub use http::{FrameLimits, FrameParser, ReadDeadline};
 pub use inproc::InProcClient;
 pub use service::{CallContext, MethodInfo, Rpc, Service};
-pub use tcp::{TcpRpcClient, TcpRpcServer};
+pub use tcp::{RpcTransport, ServerTuning, TcpRpcClient, TcpRpcServer};
 pub use threadpool::{ExecuteError, ThreadPool};

@@ -3,20 +3,27 @@
 //! Architecture mirrors a 2005 servlet container: an acceptor thread
 //! hands each connection to a lightweight connection thread, which
 //! frames HTTP requests and submits the actual XML-RPC work to a
-//! fixed-size [`ThreadPool`]. The pool is the server's service
-//! capacity — once parallel clients exceed it, requests queue and the
-//! mean response time climbs, exactly the behaviour the paper reports
-//! ("the service can handle a large number of clients as long as they
-//! do not exceed a certain limit", §7).
+//! fixed-size [`ThreadPool`] through the shared [`crate::door`]. The
+//! pool is the server's service capacity — once parallel clients
+//! exceed it, requests queue and the mean response time climbs,
+//! exactly the behaviour the paper reports ("the service can handle
+//! a large number of clients as long as they do not exceed a certain
+//! limit", §7).
+//!
+//! Thread-per-connection tops out around the low thousands of
+//! sockets; the `gae-aio` crate provides the epoll-reactor twin
+//! (`ReactorRpcServer`) for C10k-scale keep-alive fleets, selected
+//! by [`RpcTransport`].
 
-use crate::gatedpool::{Disposition, GatedPool};
+use crate::door::{Deliver, DoorBackend};
 use crate::host::ServiceHost;
-use crate::http::{read_request, read_response, HttpRequest, HttpResponse};
+use crate::http::{
+    read_request_limited, read_response, FrameLimits, HttpRequest, HttpResponse, ReadDeadline,
+};
 use crate::service::Rpc;
-use crate::threadpool::{ExecuteError, ThreadPool};
-use gae_gate::{Gate, Principal};
+use gae_gate::Gate;
 use gae_types::{GaeError, GaeResult, SessionId};
-use gae_wire::{parse_call, parse_response, write_call, write_response, MethodCall, Value};
+use gae_wire::{parse_response, write_call, MethodCall, Value};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -24,17 +31,50 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// The virtual organisation requests are billed to when the session
-/// layer does not carry one (single-VO deployments, the common case).
-const DEFAULT_VO: &str = "gae";
+/// Which server implementation fronts a service host's RPC door.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RpcTransport {
+    /// Thread-per-connection over blocking sockets ([`TcpRpcServer`]):
+    /// simple, fine up to a few hundred concurrent clients.
+    #[default]
+    ThreadPool,
+    /// The `gae-aio` epoll reactor (`ReactorRpcServer`): one event
+    /// loop holding every connection's readiness state machine, for
+    /// C10k-scale mostly-idle keep-alive fleets.
+    Reactor,
+}
 
-/// The request-processing backend behind a server's acceptor: either
-/// the plain bounded pool, or the gate's admission pipeline.
-enum Backend {
-    /// Bounded hand-off; saturation sheds with a generic overload fault.
-    Plain(ThreadPool),
-    /// Rate limiting + priority admission queue in front of the pool.
-    Gated(GatedPool, Arc<Gate>),
+impl std::str::FromStr for RpcTransport {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threadpool" | "threads" | "blocking" => Ok(RpcTransport::ThreadPool),
+            "reactor" | "aio" | "epoll" => Ok(RpcTransport::Reactor),
+            other => Err(format!("unknown rpc transport {other:?}")),
+        }
+    }
+}
+
+/// Per-server knobs shared by the blocking and reactor transports.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerTuning {
+    /// Framing caps (typed 413 beyond them).
+    pub limits: FrameLimits,
+    /// Wall-clock budget for one request's bytes once the first byte
+    /// arrives (typed 408 beyond it — the slowloris defense). Idle
+    /// keep-alive connections are unaffected.
+    pub request_deadline: Duration,
+}
+
+impl Default for ServerTuning {
+    /// 16 KiB headers / 16 MiB bodies, 2 s per request's bytes.
+    fn default() -> Self {
+        ServerTuning {
+            limits: FrameLimits::DEFAULT,
+            request_deadline: Duration::from_secs(2),
+        }
+    }
 }
 
 /// An XML-RPC server bound to a local TCP port.
@@ -54,7 +94,7 @@ impl TcpRpcServer {
 
     /// Binds an explicit address.
     pub fn bind(host: Arc<ServiceHost>, workers: usize, addr: &str) -> GaeResult<TcpRpcServer> {
-        Self::bind_inner(host, workers, addr, None)
+        Self::bind_tuned(host, workers, addr, None, ServerTuning::default())
     }
 
     /// Binds `127.0.0.1:0` with `gate` fronting the request path:
@@ -75,14 +115,17 @@ impl TcpRpcServer {
         addr: &str,
         gate: Arc<Gate>,
     ) -> GaeResult<TcpRpcServer> {
-        Self::bind_inner(host, workers, addr, Some(gate))
+        Self::bind_tuned(host, workers, addr, Some(gate), ServerTuning::default())
     }
 
-    fn bind_inner(
+    /// Fully explicit constructor: address, optional gate, framing
+    /// caps and the per-request read deadline.
+    pub fn bind_tuned(
         host: Arc<ServiceHost>,
         workers: usize,
         addr: &str,
         gate: Option<Arc<Gate>>,
+        tuning: ServerTuning,
     ) -> GaeResult<TcpRpcServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -95,16 +138,13 @@ impl TcpRpcServer {
             std::thread::Builder::new()
                 .name("gae-rpc-acceptor".to_string())
                 .spawn(move || {
-                    let pool = Arc::new(match gate {
-                        Some(g) => Backend::Gated(GatedPool::new(&g, workers), g),
-                        None => Backend::Plain(ThreadPool::new(workers)),
-                    });
+                    let door = Arc::new(DoorBackend::new(workers, gate));
                     let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
                     while !shutdown.load(Ordering::Acquire) {
                         match listener.accept() {
                             Ok((stream, peer)) => {
                                 let host = host.clone();
-                                let pool = pool.clone();
+                                let door = door.clone();
                                 let shutdown = shutdown.clone();
                                 let served = requests_served.clone();
                                 conn_threads.retain(|t| !t.is_finished());
@@ -112,7 +152,7 @@ impl TcpRpcServer {
                                     .name("gae-rpc-conn".to_string())
                                     .spawn(move || {
                                         serve_connection(
-                                            host, pool, stream, peer, shutdown, served,
+                                            host, door, stream, peer, shutdown, served, tuning,
                                         );
                                     })
                                     .expect("spawn connection thread");
@@ -172,33 +212,47 @@ impl Drop for TcpRpcServer {
     }
 }
 
-/// Handles one connection: frame requests, run them on the pool,
-/// write responses, honour keep-alive.
+/// Handles one connection: frame requests, run them through the
+/// door, write responses, honour keep-alive. A peer that starts a
+/// request but dribbles it slower than the deadline gets a typed
+/// 408 and the thread back — a byte-at-a-time slowloris client
+/// cannot pin a worker.
 fn serve_connection(
     host: Arc<ServiceHost>,
-    pool: Arc<Backend>,
+    door: Arc<DoorBackend>,
     stream: TcpStream,
     peer: SocketAddr,
     shutdown: Arc<AtomicBool>,
     served: Arc<AtomicU64>,
+    tuning: ServerTuning,
 ) {
     let _ = stream.set_nodelay(true);
-    // A read timeout lets the connection thread notice server
-    // shutdown instead of blocking forever on an idle client.
+    // A read timeout is the poll tick: it lets the connection thread
+    // notice server shutdown on an idle client and re-check the
+    // request deadline on a slow one.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
+    let mut deadline = ReadDeadline::new(tuning.request_deadline);
     loop {
         if shutdown.load(Ordering::Acquire) {
             return;
         }
-        let request = match read_request(&mut reader) {
+        let request = match read_request_limited(&mut reader, &tuning.limits, &mut deadline) {
             Ok(Some(r)) => r,
             Ok(None) => return,                    // clean close
             Err(GaeError::Timeout(_)) => continue, // idle poll tick
+            Err(GaeError::RequestTimeout(why)) => {
+                let _ = HttpResponse::error(408, "Request Timeout", &why).write_to(&mut writer);
+                return;
+            }
+            Err(GaeError::PayloadTooLarge(why)) => {
+                let _ = HttpResponse::error(413, "Payload Too Large", &why).write_to(&mut writer);
+                return;
+            }
             Err(_) => {
                 let _ =
                     HttpResponse::error(400, "Bad Request", "malformed HTTP").write_to(&mut writer);
@@ -228,24 +282,25 @@ fn serve_connection(
                 .write_to(&mut writer);
             return;
         }
-        // Hand the XML-RPC work to the backend and wait for the
-        // result: the pool size is the server's service capacity.
-        let body = match &*pool {
-            Backend::Plain(pool) => match dispatch_plain(&host, pool, request, &peer.to_string()) {
-                Some(b) => b,
-                None => {
-                    let _ = HttpResponse::error(503, "Service Unavailable", "shutting down")
-                        .write_to(&mut writer);
-                    return;
-                }
+        // Hand the XML-RPC work to the door and wait for the result:
+        // the pool size is the server's service capacity.
+        let (tx, rx) = crossbeam::channel::bounded::<Vec<u8>>(1);
+        let deliver: Deliver = Box::new(move |body| {
+            let _ = tx.send(body);
+        });
+        let body = match door.submit(&host, request, &peer.to_string(), deliver) {
+            // Accepted: the door delivers exactly once (result,
+            // fault, or typed overload), so this recv completes
+            // unless the backend vanished mid-request.
+            Ok(()) => match rx.recv() {
+                Ok(b) => b,
+                Err(_) => return,
             },
-            Backend::Gated(pool, gate) => {
-                dispatch_gated(&host, pool, gate, request, &peer.to_string())
+            Err(_closed) => {
+                let _ = HttpResponse::error(503, "Service Unavailable", "shutting down")
+                    .write_to(&mut writer);
+                return;
             }
-        };
-        let body = match body {
-            Ok(b) => b,
-            Err(()) => return, // backend vanished mid-request
         };
         served.fetch_add(1, Ordering::Relaxed);
         if HttpResponse::ok_xml(body).write_to(&mut writer).is_err() {
@@ -257,142 +312,14 @@ fn serve_connection(
     }
 }
 
-/// An XML-RPC fault response body for `e` (HTTP 200; the typed error
-/// round-trips through `GaeError::from_fault` on the client).
-fn fault_body(e: &GaeError) -> Vec<u8> {
-    write_response(&gae_wire::Response::Fault(gae_wire::Fault::from_error(e))).into_bytes()
-}
-
-/// Runs one request on the plain bounded pool. `Ok(body)` is the
-/// response to write (result, fault, or typed overload on
-/// saturation); `None` means the server is shutting down.
-fn dispatch_plain(
-    host: &Arc<ServiceHost>,
-    pool: &ThreadPool,
-    request: HttpRequest,
-    peer: &str,
-) -> Option<Result<Vec<u8>, ()>> {
-    let (tx, rx) = crossbeam::channel::bounded::<Vec<u8>>(1);
-    let host = host.clone();
-    let peer = peer.to_string();
-    match pool.execute(move || {
-        let body = process_request(&host, &request, &peer);
-        let _ = tx.send(body);
-    }) {
-        Ok(()) => Some(rx.recv().map_err(|_| ())),
-        Err(ExecuteError::Saturated { queue_depth }) => {
-            // The backlog is full: shed with a typed retry-after so
-            // clients back off instead of piling on. 10 ms ≈ one
-            // request service time at the measured throughput.
-            let _ = queue_depth;
-            Some(Ok(fault_body(&GaeError::Overloaded {
-                retry_after_us: 10_000,
-                shed_class: "pool".to_string(),
-            })))
-        }
-        Err(ExecuteError::ShuttingDown) => None,
-    }
-}
-
-/// Runs one request through the gate: principal attribution, token
-/// bucket, bounded priority queue. Every path yields a body.
-fn dispatch_gated(
-    host: &Arc<ServiceHost>,
-    pool: &GatedPool,
-    gate: &Arc<Gate>,
-    request: HttpRequest,
-    peer: &str,
-) -> Result<Vec<u8>, ()> {
-    // Attribute the request: a resolvable session bills its user,
-    // everything else shares the VO's anonymous principal. A *stale*
-    // session is not faulted here — the worker produces the proper
-    // Unauthorized fault.
-    let principal = request
-        .session()
-        .ok()
-        .flatten()
-        .and_then(|sid| host.resolve_session(Some(SessionId::new(sid)), peer).ok())
-        .and_then(|ctx| ctx.user)
-        .map(|u| Principal::user(u, DEFAULT_VO))
-        .unwrap_or_else(|| Principal::anonymous(DEFAULT_VO));
-    let arrived = gate.clock().now();
-    let class = match gate.admit(&principal) {
-        Ok(class) => class,
-        Err(e) => {
-            gate.observe_disposition("rate_limited", gae_types::SimDuration::ZERO);
-            return Ok(fault_body(&e));
-        }
-    };
-    let (tx, rx) = crossbeam::channel::bounded::<Vec<u8>>(1);
-    let host = host.clone();
-    let peer = peer.to_string();
-    let gate_in_job = gate.clone();
-    let submitted = pool.submit(
-        class,
-        Box::new(move |disposition| {
-            // The admission latency: arrival to disposition decision,
-            // on the gate's own clock.
-            let waited = gate_in_job.clock().now().saturating_since(arrived);
-            let body = match disposition {
-                Disposition::Run => {
-                    gate_in_job.observe_disposition("run", waited);
-                    process_request(&host, &request, &peer)
-                }
-                Disposition::Expired { retry_after } | Disposition::Shed { retry_after } => {
-                    gate_in_job.observe_disposition(
-                        if matches!(disposition, Disposition::Expired { .. }) {
-                            "expired"
-                        } else {
-                            "shed"
-                        },
-                        waited,
-                    );
-                    fault_body(&GaeError::Overloaded {
-                        retry_after_us: retry_after.as_micros().max(1),
-                        shed_class: class.name().to_string(),
-                    })
-                }
-            };
-            let _ = tx.send(body);
-        }),
-    );
-    match submitted {
-        // Accepted: the job is invoked exactly once (run, expired or
-        // displaced), so this recv always completes.
-        Ok(()) => rx.recv().map_err(|_| ()),
-        // Refused on arrival: queue full of equal-or-better work.
-        Err(retry_after) => {
-            gate.observe_disposition("refused", gae_types::SimDuration::ZERO);
-            Ok(fault_body(&GaeError::Overloaded {
-                retry_after_us: retry_after.as_micros().max(1),
-                shed_class: class.name().to_string(),
-            }))
-        }
-    }
-}
-
-/// Parses, authenticates, dispatches. Always yields a response body
-/// (faults for every failure mode). This is the RPC door: a request
-/// carrying `X-GAE-Trace` joins that trace; otherwise a fresh one is
-/// minted here when observability is wired.
-fn process_request(host: &ServiceHost, request: &HttpRequest, peer: &str) -> Vec<u8> {
-    let response = (|| -> GaeResult<gae_wire::Response> {
-        let session = request.session()?.map(SessionId::new);
-        let mut ctx = host.resolve_session(session, peer)?;
-        let call = parse_call(&request.body)?;
-        if let Some(hub) = host.obs() {
-            ctx.trace = request
-                .trace()
-                .and_then(gae_obs::TraceContext::parse)
-                .or_else(|| Some(hub.mint_trace(&call.name)));
-        }
-        Ok(host.handle(&ctx, &call))
-    })()
-    .unwrap_or_else(|e| gae_wire::Response::Fault(gae_wire::Fault::from_error(&e)));
-    write_response(&response).into_bytes()
-}
-
 /// A persistent-connection XML-RPC client.
+///
+/// Keep-alive is on by default: the TCP connection (and its TLS-free
+/// handshake cost) is paid once and reused across calls, with one
+/// transparent reconnect when a reused connection turns out stale
+/// (the server closed it between calls). `with_keep_alive(false)`
+/// forces the 2005 behaviour — one connection per call — kept for
+/// the reuse-vs-reconnect comparison in `benches/reactor.rs`.
 pub struct TcpRpcClient {
     addr: SocketAddr,
     reader: Option<BufReader<TcpStream>>,
@@ -400,6 +327,8 @@ pub struct TcpRpcClient {
     session: Option<u64>,
     trace: Option<gae_obs::TraceContext>,
     timeout: Duration,
+    keep_alive: bool,
+    reconnects: u64,
 }
 
 impl TcpRpcClient {
@@ -412,6 +341,8 @@ impl TcpRpcClient {
             session: None,
             trace: None,
             timeout: Duration::from_secs(10),
+            keep_alive: true,
+            reconnects: 0,
         }
     }
 
@@ -419,6 +350,20 @@ impl TcpRpcClient {
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
         self
+    }
+
+    /// Keep-alive reuse (default `true`). With `false` every call
+    /// opens a fresh connection and sends `Connection: close`.
+    pub fn with_keep_alive(mut self, keep_alive: bool) -> Self {
+        self.keep_alive = keep_alive;
+        self
+    }
+
+    /// How many times a call had to (re)connect — 1 for the first
+    /// call, then 0 per call under keep-alive reuse. Diagnostics for
+    /// the reuse-vs-reconnect bench.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
     }
 
     /// Attaches a trace context: every subsequent call carries it in
@@ -467,6 +412,7 @@ impl TcpRpcClient {
             stream.set_write_timeout(Some(self.timeout))?;
             self.reader = Some(BufReader::new(stream.try_clone()?));
             self.writer = Some(stream);
+            self.reconnects += 1;
         }
         Ok(())
     }
@@ -479,6 +425,11 @@ impl TcpRpcClient {
     fn try_call_once(&mut self, body: &[u8]) -> GaeResult<Vec<u8>> {
         self.ensure_connected()?;
         let mut request = HttpRequest::xmlrpc(body.to_vec(), self.session);
+        if !self.keep_alive {
+            request
+                .headers
+                .push(("Connection".to_string(), "close".to_string()));
+        }
         if let Some(trace) = self.trace {
             request
                 .headers
@@ -488,16 +439,22 @@ impl TcpRpcClient {
             .write_to(self.writer.as_mut().expect("connected"))
             .map_err(|e| GaeError::Io(format!("send: {e}")))?;
         let response = read_response(self.reader.as_mut().expect("connected"))?;
+        if !self.keep_alive {
+            self.drop_connection();
+        }
         if response.status != 200 {
-            return Err(GaeError::Rpc {
-                code: i32::from(response.status),
-                message: format!(
+            // Non-200 is the transport refusing before XML-RPC ran:
+            // map the status straight to the typed error (408 slow
+            // request, 413 oversized frame, 400 bad framing, ...).
+            return Err(GaeError::from_fault(
+                i32::from(response.status),
+                format!(
                     "HTTP {} {}: {}",
                     response.status,
                     response.reason,
                     String::from_utf8_lossy(&response.body)
                 ),
-            });
+            ));
         }
         Ok(response.body)
     }
@@ -507,7 +464,8 @@ impl Rpc for TcpRpcClient {
     fn call(&mut self, method: &str, params: Vec<Value>) -> GaeResult<Value> {
         let body = write_call(&MethodCall::new(method, params)).into_bytes();
         // One transparent retry on a broken keep-alive connection
-        // (the server may have closed an idle socket between calls).
+        // (the server may have closed an idle socket between calls,
+        // which surfaces as EOF/reset on the reused stream).
         let raw = match self.try_call_once(&body) {
             Ok(r) => r,
             Err(GaeError::Io(_)) => {
@@ -524,11 +482,15 @@ impl Rpc for TcpRpcClient {
     }
 }
 
+// Re-exported so existing `crate::tcp::...` paths keep working.
+pub use crate::door::{fault_body, process_request};
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::auth::Credentials;
     use crate::service::{CallContext, MethodInfo, Service};
+    use std::io::Write;
 
     struct EchoUser;
     impl Service for EchoUser {
@@ -603,7 +565,57 @@ mod tests {
                 .unwrap();
             assert_eq!(v, Value::Int64(i64::from(i) + 1));
         }
+        assert_eq!(client.reconnects(), 1, "one connect serves all 50 calls");
         server.stop();
+    }
+
+    #[test]
+    fn keep_alive_off_reconnects_per_call() {
+        let (server, _host) = server();
+        let mut client = TcpRpcClient::connect(server.addr()).with_keep_alive(false);
+        for i in 0..5 {
+            let v = client
+                .call("test.sum", vec![Value::Int(i), Value::Int(1)])
+                .unwrap();
+            assert_eq!(v, Value::Int64(i64::from(i) + 1));
+        }
+        assert_eq!(client.reconnects(), 5, "one connect per call");
+        server.stop();
+    }
+
+    #[test]
+    fn stale_keep_alive_connection_reconnects_transparently() {
+        // A fake server that accepts one connection, serves exactly
+        // one response, then closes the socket — the next call on
+        // the reused connection hits EOF and must transparently
+        // reconnect (served by the second accept).
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let fake = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (stream, _) = listener.accept().unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let req = crate::http::read_request(&mut reader).unwrap().unwrap();
+                let body = process_request(&ServiceHost::open(), &req, "fake");
+                let mut w = stream;
+                HttpResponse::ok_xml(body).write_to(&mut w).unwrap();
+                // Socket drops here: the keep-alive promise is broken.
+            }
+        });
+        let mut client = TcpRpcClient::connect(addr).with_timeout(Duration::from_secs(5));
+        assert_eq!(
+            client.call("system.ping", vec![]).unwrap(),
+            Value::from("pong")
+        );
+        // Give the fake server time to close the first socket so the
+        // reuse attempt observes EOF rather than racing the close.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(
+            client.call("system.ping", vec![]).unwrap(),
+            Value::from("pong")
+        );
+        assert_eq!(client.reconnects(), 2, "stale EOF forced one reconnect");
+        fake.join().unwrap();
     }
 
     #[test]
@@ -691,11 +703,88 @@ mod tests {
     fn malformed_http_gets_400() {
         let (server, _host) = server();
         let mut stream = TcpStream::connect(server.addr()).unwrap();
-        use std::io::Write;
         stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
         let mut reader = BufReader::new(stream.try_clone().unwrap());
         let resp = read_response(&mut reader).unwrap();
         assert_eq!(resp.status, 400);
+        server.stop();
+    }
+
+    #[test]
+    fn slowloris_client_gets_408_and_frees_the_thread() {
+        let host = ServiceHost::open();
+        host.register(Arc::new(EchoUser));
+        let server = TcpRpcServer::bind_tuned(
+            host,
+            2,
+            "127.0.0.1:0",
+            None,
+            ServerTuning {
+                limits: FrameLimits::DEFAULT,
+                request_deadline: Duration::from_millis(300),
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // Dribble a valid request one byte per 30 ms: far slower
+        // than the 300 ms budget allows for its ~60 bytes.
+        let raw = b"POST /RPC2 HTTP/1.1\r\nContent-Length: 6\r\n\r\n<xml/>";
+        let started = std::time::Instant::now();
+        let mut got: Option<HttpResponse> = None;
+        for b in raw.iter() {
+            if stream.write_all(std::slice::from_ref(b)).is_err() {
+                break; // server already hung up on us
+            }
+            std::thread::sleep(Duration::from_millis(30));
+            if started.elapsed() > Duration::from_secs(5) {
+                break;
+            }
+        }
+        let mut reader = BufReader::new(stream);
+        if let Ok(resp) = read_response(&mut reader) {
+            got = Some(resp);
+        }
+        let resp = got.expect("server must answer 408 before dropping the line");
+        assert_eq!(resp.status, 408, "typed request-timeout, got {resp:?}");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "connection thread freed promptly"
+        );
+        server.stop();
+    }
+
+    #[test]
+    fn oversized_request_gets_413() {
+        let host = ServiceHost::open();
+        host.register(Arc::new(EchoUser));
+        let server = TcpRpcServer::bind_tuned(
+            host,
+            2,
+            "127.0.0.1:0",
+            None,
+            ServerTuning {
+                limits: FrameLimits {
+                    max_header_bytes: 16 * 1024,
+                    max_body_bytes: 1024,
+                },
+                request_deadline: Duration::from_secs(2),
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"POST /RPC2 HTTP/1.1\r\nContent-Length: 10000000\r\n\r\n")
+            .unwrap();
+        let resp = read_response(&mut BufReader::new(stream)).unwrap();
+        assert_eq!(resp.status, 413);
+        // And through the typed client: the status maps to the error.
+        let mut client = TcpRpcClient::connect(server.addr());
+        let huge = vec![Value::from("y".repeat(4096))];
+        let got = client.call("test.sum", huge);
+        assert!(
+            matches!(got, Err(GaeError::PayloadTooLarge(_))),
+            "typed 413 through the client, got {got:?}"
+        );
         server.stop();
     }
 

@@ -51,6 +51,13 @@ pub enum GaeError {
     Io(String),
     /// Request timed out.
     Timeout(String),
+    /// The transport gave up waiting for the rest of a request the
+    /// peer had started sending (slowloris defense: the read deadline
+    /// across a request's bytes expired). HTTP 408.
+    RequestTimeout(String),
+    /// A request's framing exceeded a configured size cap (header
+    /// block or body larger than the transport allows). HTTP 413.
+    PayloadTooLarge(String),
     /// The admission gate's per-principal token bucket denied the
     /// request. `retry_after_us` is the machine-readable back-off the
     /// client should wait before retrying.
@@ -92,6 +99,8 @@ impl GaeError {
             GaeError::ResourceExhausted(_) => "resource_exhausted",
             GaeError::Io(_) => "io",
             GaeError::Timeout(_) => "timeout",
+            GaeError::RequestTimeout(_) => "request_timeout",
+            GaeError::PayloadTooLarge(_) => "payload_too_large",
             GaeError::RateLimited { .. } => "rate_limited",
             GaeError::Overloaded { .. } => "overloaded",
             GaeError::Transfer(_) => "transfer",
@@ -124,6 +133,8 @@ impl GaeError {
             GaeError::ResourceExhausted(_) => 507,
             GaeError::Io(_) => 502,
             GaeError::Timeout(_) => 504,
+            GaeError::RequestTimeout(_) => 408,
+            GaeError::PayloadTooLarge(_) => 413,
             GaeError::RateLimited { .. } => 429,
             GaeError::Overloaded { .. } => 503,
             GaeError::Transfer(_) => 521,
@@ -152,6 +163,8 @@ impl GaeError {
             507 => strip("resource exhausted: "),
             502 => strip("io error: "),
             504 => strip("timeout: "),
+            408 => strip("request timeout: "),
+            413 => strip("payload too large: "),
             521 => strip("transfer error: "),
             _ => message,
         };
@@ -178,6 +191,8 @@ impl GaeError {
             507 => GaeError::ResourceExhausted(message),
             502 => GaeError::Io(message),
             504 => GaeError::Timeout(message),
+            408 => GaeError::RequestTimeout(message),
+            413 => GaeError::PayloadTooLarge(message),
             521 => GaeError::Transfer(message),
             _ => GaeError::Rpc { code, message },
         }
@@ -229,6 +244,8 @@ impl fmt::Display for GaeError {
             GaeError::ResourceExhausted(why) => write!(f, "resource exhausted: {why}"),
             GaeError::Io(why) => write!(f, "io error: {why}"),
             GaeError::Timeout(why) => write!(f, "timeout: {why}"),
+            GaeError::RequestTimeout(why) => write!(f, "request timeout: {why}"),
+            GaeError::PayloadTooLarge(why) => write!(f, "payload too large: {why}"),
             GaeError::RateLimited { retry_after_us } => {
                 write!(f, "rate limited: retry_after_us={retry_after_us}")
             }
@@ -281,6 +298,8 @@ mod tests {
             GaeError::ResourceExhausted("x".into()),
             GaeError::Io("x".into()),
             GaeError::Timeout("x".into()),
+            GaeError::RequestTimeout("x".into()),
+            GaeError::PayloadTooLarge("x".into()),
             GaeError::RateLimited { retry_after_us: 7 },
             GaeError::Overloaded {
                 retry_after_us: 9,

@@ -58,6 +58,7 @@
 //! assert_eq!(info.status, TaskStatus::Completed);
 //! ```
 
+pub use gae_aio as aio;
 pub use gae_core as core;
 pub use gae_durable as durable;
 pub use gae_exec as exec;

@@ -1,0 +1,354 @@
+//! The `gae-aio` reactor front door under hostile and awkward
+//! clients: mid-request disconnects, partial writes through a tiny
+//! kernel send buffer, pipelined requests — and the contract that
+//! matters most, blocking-vs-reactor response equivalence (both
+//! transports share `gae_rpc::door` dispatch and `gae_rpc::http`
+//! framing, so the same bytes in must produce the same bytes out).
+
+use gae::aio::{ReactorConfig, ReactorRpcServer};
+use gae::gate::{Gate, GateConfig, QueueConfig, TokenBucketConfig, WallClock};
+use gae::rpc::http::{FrameLimits, FrameParser, HttpRequest, HttpResponse};
+use gae::rpc::service::{CallContext, MethodInfo, Service};
+use gae::rpc::{Rpc, ServiceHost, TcpRpcClient, TcpRpcServer};
+use gae::types::{GaeError, GaeResult, SimDuration};
+use gae::wire::{write_call, MethodCall, Value};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Echo;
+
+impl Service for Echo {
+    fn name(&self) -> &'static str {
+        "test"
+    }
+    fn call(&self, _ctx: &CallContext, method: &str, params: &[Value]) -> GaeResult<Value> {
+        match method {
+            "sum" => {
+                let mut s = 0i64;
+                for p in params {
+                    s += p.as_i64()?;
+                }
+                Ok(Value::Int64(s))
+            }
+            // A response much larger than a minimal socket buffer:
+            // forces the reactor through its partial-write path.
+            "blob" => {
+                let n = usize::try_from(params[0].as_i64()?).unwrap_or(0);
+                Ok(Value::from("x".repeat(n)))
+            }
+            // Occupies a worker for a while: lets a test wedge the
+            // admission queue deterministically.
+            "sleep" => {
+                let ms = u64::try_from(params[0].as_i64()?).unwrap_or(0);
+                std::thread::sleep(Duration::from_millis(ms));
+                Ok(Value::Int64(0))
+            }
+            "fail" => Err(GaeError::ExecutionFailure("deliberate".into())),
+            other => Err(gae::rpc::service::unknown_method("test", other)),
+        }
+    }
+    fn methods(&self) -> Vec<MethodInfo> {
+        vec![]
+    }
+}
+
+fn echo_host() -> Arc<ServiceHost> {
+    let host = ServiceHost::open();
+    host.register(Arc::new(Echo));
+    host
+}
+
+/// Serialises one XML-RPC call as raw keep-alive HTTP bytes.
+fn raw_call(method: &str, params: Vec<Value>) -> Vec<u8> {
+    let body = write_call(&MethodCall::new(method, params)).into_bytes();
+    let mut buf = Vec::new();
+    HttpRequest::xmlrpc(body, None).write_to(&mut buf).unwrap();
+    buf
+}
+
+/// Reads framed responses off a blocking socket, preserving bytes
+/// past each message boundary (pipelined responses share reads).
+struct ResponseReader {
+    stream: TcpStream,
+    parser: FrameParser,
+    pending: Vec<u8>,
+}
+
+impl ResponseReader {
+    fn new(stream: &TcpStream) -> ResponseReader {
+        ResponseReader {
+            stream: stream.try_clone().unwrap(),
+            parser: FrameParser::new(FrameLimits::DEFAULT),
+            pending: Vec::new(),
+        }
+    }
+
+    fn next(&mut self) -> HttpResponse {
+        loop {
+            while !self.pending.is_empty() && !self.parser.is_complete() {
+                let used = self
+                    .parser
+                    .feed(&self.pending)
+                    .expect("well-formed response");
+                self.pending.drain(..used);
+            }
+            if self.parser.is_complete() {
+                return self.parser.take_response().unwrap();
+            }
+            let mut buf = [0u8; 4096];
+            let n = self
+                .stream
+                .read(&mut buf)
+                .expect("server closed mid-response");
+            assert!(n > 0, "EOF before a complete response");
+            self.pending.extend_from_slice(&buf[..n]);
+        }
+    }
+}
+
+/// Reads exactly one HTTP response off a blocking socket.
+fn read_one_response(stream: &TcpStream) -> HttpResponse {
+    ResponseReader::new(stream).next()
+}
+
+#[test]
+fn mid_request_disconnect_leaves_the_reactor_healthy() {
+    let server = ReactorRpcServer::start(echo_host(), 2).unwrap();
+    let addr = server.addr();
+    // Half a request, then vanish.
+    let mut half = TcpStream::connect(addr).unwrap();
+    half.write_all(b"POST /RPC2 HTTP/1.1\r\nContent-Le")
+        .unwrap();
+    drop(half);
+    // A full request, then vanish before reading the response: the
+    // completion for the dead connection must be discarded, not
+    // delivered to whoever lands in the slab slot next.
+    let mut ghost = TcpStream::connect(addr).unwrap();
+    ghost
+        .write_all(&raw_call("test.sum", vec![Value::Int(1)]))
+        .unwrap();
+    drop(ghost);
+    // The reactor keeps serving fresh clients afterwards.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut client = TcpRpcClient::connect(addr);
+    for i in 0..20 {
+        let v = client
+            .call("test.sum", vec![Value::Int(i), Value::Int(1)])
+            .unwrap();
+        assert_eq!(v, Value::Int64(i64::from(i) + 1));
+    }
+    server.stop();
+}
+
+#[test]
+fn partial_writes_through_a_tiny_send_buffer_arrive_intact() {
+    // Force the smallest send buffer the kernel allows: a ~1 MiB
+    // response cannot leave in one write, so the reactor must park
+    // the remainder, register write interest, and resume on EPOLLOUT.
+    let config = ReactorConfig {
+        so_sndbuf: Some(1),
+        ..ReactorConfig::default()
+    };
+    let server = ReactorRpcServer::bind_tuned(echo_host(), 2, "127.0.0.1:0", None, config).unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = ResponseReader::new(&stream);
+    let n = 1_000_000i64;
+    stream
+        .write_all(&raw_call("test.blob", vec![Value::Int64(n)]))
+        .unwrap();
+    // A slow reader widens the window where the socket is unwritable.
+    std::thread::sleep(Duration::from_millis(150));
+    let response = reader.next();
+    assert_eq!(response.status, 200);
+    let value = gae::wire::parse_response(&response.body)
+        .unwrap()
+        .into_result()
+        .unwrap();
+    assert_eq!(value, Value::from("x".repeat(n as usize)));
+    // The connection survived the ordeal: a second call works.
+    stream
+        .write_all(&raw_call("test.sum", vec![Value::Int(20), Value::Int(22)]))
+        .unwrap();
+    assert_eq!(reader.next().status, 200);
+    server.stop();
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let server = ReactorRpcServer::start(echo_host(), 2).unwrap();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = ResponseReader::new(&stream);
+    let mut stream = stream;
+    // Two complete requests in one TCP segment: the reactor must
+    // answer the first, then notice the second already buffered.
+    let mut burst = raw_call("test.sum", vec![Value::Int(1), Value::Int(2)]);
+    burst.extend_from_slice(&raw_call("test.sum", vec![Value::Int(30), Value::Int(12)]));
+    stream.write_all(&burst).unwrap();
+    let first = reader.next();
+    let second = reader.next();
+    for (response, expected) in [(first, 3i64), (second, 42i64)] {
+        assert_eq!(response.status, 200);
+        let value = gae::wire::parse_response(&response.body)
+            .unwrap()
+            .into_result()
+            .unwrap();
+        assert_eq!(value, Value::Int64(expected));
+    }
+    // Keep-alive still holds after the burst.
+    stream
+        .write_all(&raw_call("test.sum", vec![Value::Int(5)]))
+        .unwrap();
+    assert_eq!(reader.next().status, 200);
+    server.stop();
+}
+
+#[test]
+fn gate_refusals_agree_across_transports() {
+    // Wedge each server's gate the same way — one worker occupied by
+    // a slow call, one request parked in a capacity-1 queue — then a
+    // third arrival must be refused at the door with the same typed
+    // Overloaded fault on both transports. (The fault's retry_after
+    // is clock-derived, so the comparison is kind + class, while the
+    // ungated proptest below covers byte-level identity.)
+    let tiny_gate = || {
+        Gate::new(
+            GateConfig {
+                bucket: TokenBucketConfig::new(1e9, 1e9),
+                queue: QueueConfig::new(1, SimDuration::from_secs(5)),
+                ..GateConfig::default()
+            },
+            Arc::new(WallClock::new()),
+        )
+    };
+    let blocking = TcpRpcServer::start_gated(echo_host(), 1, tiny_gate()).unwrap();
+    let reactor = ReactorRpcServer::start_gated(echo_host(), 1, tiny_gate()).unwrap();
+    let refusal = |addr: SocketAddr| {
+        // A: occupies the only worker for a second.
+        let mut busy = TcpStream::connect(addr).unwrap();
+        busy.write_all(&raw_call("test.sleep", vec![Value::Int64(1_000)]))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(250));
+        // B: sits in the queue (capacity 1).
+        let mut parked = TcpStream::connect(addr).unwrap();
+        parked
+            .write_all(&raw_call("test.sum", vec![Value::Int(1)]))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // C: queue full — refused at arrival.
+        let mut refused = TcpStream::connect(addr).unwrap();
+        refused
+            .write_all(&raw_call("test.sum", vec![Value::Int(2)]))
+            .unwrap();
+        let response = read_one_response(&refused);
+        drop((busy, parked));
+        response
+    };
+    let classes: Vec<String> = [
+        ("blocking", refusal(blocking.addr())),
+        ("reactor", refusal(reactor.addr())),
+    ]
+    .into_iter()
+    .map(|(name, response)| {
+        assert_eq!(
+            response.status, 200,
+            "{name}: XML-RPC faults travel as 200 + fault body"
+        );
+        let err = gae::wire::parse_response(&response.body)
+            .unwrap()
+            .into_result()
+            .unwrap_err();
+        match err {
+            GaeError::Overloaded { shed_class, .. } => shed_class,
+            other => panic!("{name}: expected Overloaded, got {other:?}"),
+        }
+    })
+    .collect();
+    assert_eq!(classes[0], classes[1], "transports disagree on shed class");
+    blocking.stop();
+    reactor.stop();
+}
+
+/// One request's worth of raw bytes for the equivalence proptest.
+#[derive(Clone, Debug)]
+enum Probe {
+    /// A well-formed call (service result or service fault).
+    Call { method: String, args: Vec<i64> },
+    /// A non-POST method: typed 405 from both transports.
+    BadVerb,
+    /// A declared body far past the cap: typed 413 from both.
+    Oversized,
+    /// A line of garbage: typed 400 from both.
+    Garbage,
+}
+
+impl Probe {
+    fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            Probe::Call { method, args } => {
+                raw_call(method, args.iter().map(|&a| Value::Int64(a)).collect())
+            }
+            Probe::BadVerb => b"PUT /RPC2 HTTP/1.1\r\nContent-Length: 0\r\n\r\n".to_vec(),
+            Probe::Oversized => format!(
+                "POST /RPC2 HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                64 * 1024 * 1024
+            )
+            .into_bytes(),
+            Probe::Garbage => b"NOT EVEN HTTP\r\n\r\n".to_vec(),
+        }
+    }
+}
+
+fn arb_probe() -> impl Strategy<Value = Probe> {
+    (
+        0u8..9,
+        prop_oneof![
+            Just("test.sum".to_string()),
+            Just("test.fail".to_string()),
+            Just("no.such".to_string()),
+        ],
+        proptest::collection::vec(-1000i64..1000, 0..4),
+    )
+        .prop_map(|(selector, method, args)| match selector {
+            0 => Probe::BadVerb,
+            1 => Probe::Oversized,
+            2 => Probe::Garbage,
+            _ => Probe::Call { method, args },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The reactor is a scheduling change, not a semantic one: for
+    /// any probe — valid calls, faults, bad verbs, oversized frames,
+    /// garbage — both front doors return the identical response
+    /// frame (status, reason, headers, body).
+    #[test]
+    fn blocking_and_reactor_answer_identically(probes in proptest::collection::vec(arb_probe(), 1..5)) {
+        let host = echo_host();
+        let blocking = TcpRpcServer::start(host.clone(), 2).unwrap();
+        let reactor = ReactorRpcServer::start(host, 2).unwrap();
+        for probe in &probes {
+            let bytes = probe.to_bytes();
+            let fetch = |addr: SocketAddr| {
+                let mut s = TcpStream::connect(addr).unwrap();
+                s.write_all(&bytes).unwrap();
+                read_one_response(&s)
+            };
+            let a = fetch(blocking.addr());
+            let b = fetch(reactor.addr());
+            prop_assert_eq!(&a, &b, "transports disagree on {:?}", probe);
+            match probe {
+                Probe::Call { .. } => prop_assert_eq!(a.status, 200),
+                Probe::BadVerb => prop_assert_eq!(a.status, 405),
+                Probe::Oversized => prop_assert_eq!(a.status, 413),
+                Probe::Garbage => prop_assert_eq!(a.status, 400),
+            }
+        }
+        blocking.stop();
+        reactor.stop();
+    }
+}

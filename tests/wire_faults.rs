@@ -4,7 +4,7 @@
 //! mutations reuse the durable layer's crash-injection helpers.
 
 use gae::durable::fault::{corrupt_bytes, Corruption};
-use gae::rpc::http::read_request;
+use gae::rpc::http::{read_request, FrameLimits, FrameParser};
 use gae::types::GaeError;
 use gae::wire::{parse_call, parse_response, parse_value_document, write_call, MethodCall, Value};
 use proptest::prelude::*;
@@ -64,14 +64,21 @@ fn truncated_content_length_is_io_error() {
 
 #[test]
 fn oversized_declared_length_is_rejected_up_front() {
-    // Just past the 16 MiB body cap: refused before any allocation.
+    // Just past the 16 MiB body cap: a typed 413 before any
+    // allocation, from both the blocking reader and the incremental
+    // parser (they share `FrameLimits`).
     let huge = format!(
         "POST /RPC2 HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
         16 * 1024 * 1024 + 1
     );
     assert!(matches!(
         read_request(&mut BufReader::new(huge.as_bytes())),
-        Err(GaeError::ResourceExhausted(_))
+        Err(GaeError::PayloadTooLarge(_))
+    ));
+    let mut parser = FrameParser::new(FrameLimits::DEFAULT);
+    assert!(matches!(
+        parser.feed(huge.as_bytes()),
+        Err(GaeError::PayloadTooLarge(_))
     ));
     // Wider than usize itself: a parse error, not a panic.
     let absurd: &[u8] =
@@ -79,6 +86,25 @@ fn oversized_declared_length_is_rejected_up_front() {
     assert!(matches!(
         read_request(&mut BufReader::new(absurd)),
         Err(GaeError::Parse(_))
+    ));
+}
+
+#[test]
+fn header_flood_is_a_typed_413() {
+    // A client streaming endless header lines (no terminating blank
+    // line) hits the header cap, not an unbounded buffer.
+    let mut flood = String::from("POST /RPC2 HTTP/1.1\r\n");
+    for i in 0..2_000 {
+        flood.push_str(&format!("X-Pad-{i}: {}\r\n", "y".repeat(64)));
+    }
+    assert!(matches!(
+        read_request(&mut BufReader::new(flood.as_bytes())),
+        Err(GaeError::PayloadTooLarge(_))
+    ));
+    let mut parser = FrameParser::new(FrameLimits::DEFAULT);
+    assert!(matches!(
+        parser.feed(flood.as_bytes()),
+        Err(GaeError::PayloadTooLarge(_))
     ));
 }
 
@@ -91,7 +117,84 @@ fn arb_corruption() -> impl Strategy<Value = Corruption> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The incremental `FrameParser` must agree with the blocking
+    /// reader on every well-formed request, no matter how the bytes
+    /// are chunked — one byte at a time, odd split points, or one
+    /// big slab all parse to the same frame.
+    #[test]
+    fn frame_parser_agrees_with_blocking_reader_under_any_chunking(
+        method in "[a-z]{1,10}",
+        arg in any::<u64>(),
+        splits in proptest::collection::vec(any::<u16>(), 0..8),
+    ) {
+        let body = write_call(&MethodCall {
+            name: method,
+            params: vec![Value::from(arg)],
+        })
+        .into_bytes();
+        let mut raw = Vec::new();
+        gae::rpc::http::HttpRequest::xmlrpc(body, None)
+            .write_to(&mut raw)
+            .unwrap();
+
+        let blocking = read_request(&mut BufReader::new(raw.as_slice()))
+            .unwrap()
+            .expect("well-formed request");
+
+        let mut cuts: Vec<usize> = splits
+            .iter()
+            .map(|&s| s as usize % raw.len().max(1))
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut parser = FrameParser::new(FrameLimits::DEFAULT);
+        let mut start = 0;
+        for cut in cuts.into_iter().chain([raw.len()]) {
+            let mut chunk = &raw[start..cut];
+            while !chunk.is_empty() {
+                let n = parser.feed(chunk).unwrap();
+                chunk = &chunk[n..];
+            }
+            start = cut;
+        }
+        prop_assert!(parser.is_complete());
+        let incremental = parser.take_request().unwrap();
+        prop_assert_eq!(incremental, blocking);
+    }
+
+    /// Arbitrary corruption of the raw HTTP bytes must never panic
+    /// the incremental parser: every outcome is a parsed frame or a
+    /// typed error, even fed one byte at a time.
+    #[test]
+    fn corrupted_http_bytes_never_panic_the_frame_parser(
+        arg in any::<u64>(),
+        corruption in arb_corruption(),
+    ) {
+        let body = write_call(&MethodCall {
+            name: "ping".into(),
+            params: vec![Value::from(arg)],
+        })
+        .into_bytes();
+        let mut raw = Vec::new();
+        gae::rpc::http::HttpRequest::xmlrpc(body, None)
+            .write_to(&mut raw)
+            .unwrap();
+        corrupt_bytes(&mut raw, &corruption);
+        let mut parser = FrameParser::new(FrameLimits::DEFAULT);
+        for byte in raw {
+            match parser.feed(&[byte]) {
+                // Typed rejection: fine, and terminal.
+                Err(_) => break,
+                Ok(_) if parser.is_complete() => {
+                    let _ = parser.take_request();
+                    break;
+                }
+                Ok(_) => {}
+            }
+        }
+    }
 
     /// Any single corruption of a well-formed call document — torn
     /// tail, flipped bit, duplicated segment — must yield either a
